@@ -1,0 +1,74 @@
+// Command scanbench regenerates the paper's tables and figures on the
+// simulated NUMA machines.
+//
+// Usage:
+//
+//	scanbench -list
+//	scanbench -exp fig8
+//	scanbench -all
+//	scanbench -exp fig12 -scale quick
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"numacs/internal/harness"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp   = flag.String("exp", "", "experiment id to run (comma-separated for several)")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.String("scale", "full", "experiment scale: full or quick")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scale {
+	case "full":
+		sc = harness.FullScale()
+	case "quick":
+		sc = harness.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scale)
+		os.Exit(2)
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = harness.IDs()
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		e, ok := harness.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := e.Run(sc)
+		fmt.Println(rep.Render())
+		fmt.Printf("[%s: %s scale, wall %.1fs]\n\n", e.ID, sc.Name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,67 @@
+// Command topoprobe prints the simulated machines' topology and the Table 1
+// calibration (latencies and streaming bandwidths), plus the link graph for
+// inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numacs"
+	"numacs/internal/harness"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "", "print link graph for one machine: 4s, 8s, 16s, or 32s")
+	)
+	flag.Parse()
+
+	if *machine != "" {
+		var m *numacs.Machine
+		switch *machine {
+		case "4s":
+			m = numacs.FourSocketIvyBridge()
+		case "8s":
+			m = numacs.EightSocketWestmere()
+		case "16s":
+			m = numacs.SixteenSocketIvyBridge()
+		case "32s":
+			m = numacs.ThirtyTwoSocketIvyBridge()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+			os.Exit(2)
+		}
+		printMachine(m)
+		return
+	}
+
+	exp, _ := harness.ByID("table1")
+	fmt.Println(exp.Run(harness.FullScale()).Render())
+}
+
+func printMachine(m *numacs.Machine) {
+	fmt.Printf("%s: %d sockets x %d cores x %d threads @ %.1f GHz, %s coherence\n",
+		m.Name, m.Sockets, m.CoresPerSocket, m.ThreadsPerCore, m.FreqHz/1e9, m.Coherence)
+	fmt.Printf("per-socket MC bandwidth: %.1f GiB/s\n", m.MCBandwidth/(1<<30))
+	fmt.Printf("nodes: %d (%d sockets + %d routers), %d directed links\n",
+		m.Nodes, m.Sockets, m.Nodes-m.Sockets, len(m.Links))
+	fmt.Println("\nlinks (raw capacity incl. protocol overhead):")
+	for i, l := range m.Links {
+		fmt.Printf("  link %3d: %3d -> %3d  %.1f GiB/s\n", i, l.From, l.To, l.Bandwidth/(1<<30))
+	}
+	fmt.Println("\nlatency matrix (ns):")
+	fmt.Printf("     ")
+	for d := 0; d < m.Sockets; d++ {
+		fmt.Printf("%5d", d)
+	}
+	fmt.Println()
+	for s := 0; s < m.Sockets; s++ {
+		fmt.Printf("%4d ", s)
+		for d := 0; d < m.Sockets; d++ {
+			fmt.Printf("%5.0f", m.Latency(s, d)*1e9)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,263 @@
+// Package adaptive implements the envisioned adaptive design of Section 7:
+// a catalog exposing every column's Page Socket Mappings, and a data placer
+// that continuously balances CPU and memory-bandwidth utilization across
+// sockets by moving or repartitioning hot data items, and shrinks cold
+// partitioned items when utilization is balanced.
+//
+// The placer follows the paper's flowchart (Figure 20):
+//
+//	place data using RR
+//	loop:
+//	  if utilization unbalanced:
+//	      find hottest socket, find hottest item on it
+//	      if the item does not dominate the socket: move it to the coldest socket
+//	      else: increase its partitions (IVP if IV-intensive, else PP),
+//	            placing the new partition on the coldest socket
+//	  else:
+//	      for each partitioned item with no active traffic: decrease partitions
+package adaptive
+
+import (
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/memsim"
+)
+
+// Catalog lists the tables whose columns the placer manages, mirroring the
+// catalog component of Figure 20 (tables -> partitions -> columns -> PSMs).
+type Catalog struct {
+	Tables []*colstore.Table
+}
+
+// Columns enumerates all columns of single-part tables (the placer moves
+// whole columns; physically partitioned tables are managed part-wise by
+// their PP placement already).
+func (c *Catalog) Columns() []*colstore.Column {
+	var out []*colstore.Column
+	for _, t := range c.Tables {
+		for _, p := range t.Parts {
+			out = append(out, p.Columns...)
+		}
+	}
+	return out
+}
+
+// Config tunes the placer.
+type Config struct {
+	// Period between balancing rounds in virtual seconds.
+	Period float64
+	// ImbalanceRatio: a round triggers rebalancing when the hottest socket's
+	// served bytes exceed the coldest's by this factor.
+	ImbalanceRatio float64
+	// DominanceFraction: an item "dominates" its socket when it contributes
+	// at least this fraction of the socket's traffic — then it is
+	// partitioned rather than moved.
+	DominanceFraction float64
+	// MaxPartitions caps IVP growth (machine sockets by default).
+	MaxPartitions int
+}
+
+// DefaultConfig returns the placer defaults.
+func DefaultConfig() Config {
+	return Config{
+		Period:            10e-3,
+		ImbalanceRatio:    1.4,
+		DominanceFraction: 0.5,
+	}
+}
+
+// Action records one placement decision, for observability and tests.
+type Action struct {
+	Time   float64
+	Kind   string // "move", "partition-ivp", "partition-pp", "shrink"
+	Column string
+	From   int
+	To     int
+	Parts  int
+}
+
+// Placer is the data placer actor. Register it with the simulation engine
+// (engine.Sim.AddActor) after placing data with RR.
+type Placer struct {
+	Engine  *core.Engine
+	Catalog *Catalog
+	Cfg     Config
+
+	lastRun    float64
+	lastMC     []float64
+	Actions    []Action
+	PagesMoved int64
+}
+
+// New creates a placer.
+func New(e *core.Engine, cat *Catalog, cfg Config) *Placer {
+	if cfg.Period == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.MaxPartitions == 0 {
+		cfg.MaxPartitions = e.Machine.Sockets
+	}
+	return &Placer{Engine: e, Catalog: cat, Cfg: cfg, lastMC: make([]float64, e.Machine.Sockets)}
+}
+
+// Tick implements sim.Actor.
+func (p *Placer) Tick(now float64) {
+	if now-p.lastRun < p.Cfg.Period {
+		return
+	}
+	p.lastRun = now
+	e := p.Engine
+
+	// Per-socket utilization over the last period, from the MC byte
+	// counters (the paper reads hardware counters here).
+	cur := e.HW.MCUtilization()
+	delta := make([]float64, len(cur))
+	for s := range cur {
+		delta[s] = cur[s] - p.lastMC[s]
+		p.lastMC[s] = cur[s]
+	}
+	hot, cold := argmax(delta), argmin(delta)
+	traffic := e.ItemTraffic()
+	defer e.ResetItemTraffic()
+
+	total := 0.0
+	for _, d := range delta {
+		total += d
+	}
+	if total <= 0 {
+		return
+	}
+	if delta[hot] > p.Cfg.ImbalanceRatio*maxf(delta[cold], total/float64(len(delta))/4) {
+		p.rebalance(now, hot, cold, delta[hot], traffic)
+		return
+	}
+	p.shrinkCold(now, traffic)
+}
+
+// rebalance implements the unbalanced branch of the flowchart.
+func (p *Placer) rebalance(now float64, hot, cold int, hotBytes float64, traffic map[string]*core.ItemTraffic) {
+	// Find the hottest item whose IV lives (at least partly) on the hot
+	// socket.
+	var hottest *colstore.Column
+	var hottestTraffic *core.ItemTraffic
+	best := 0.0
+	for _, col := range p.Catalog.Columns() {
+		it := traffic[col.Name]
+		if it == nil || col.IVPSM == nil {
+			continue
+		}
+		onHot := false
+		for s, pages := range col.IVPSM.Summary() {
+			if s == hot && pages > 0 {
+				onHot = true
+			}
+		}
+		if onHot && it.Bytes > best {
+			best = it.Bytes
+			hottest = col
+			hottestTraffic = it
+		}
+	}
+	if hottest == nil {
+		return
+	}
+	alloc := p.Engine.Placer.Alloc
+	if best < p.Cfg.DominanceFraction*hotBytes && hottest.NumPartitions() == 1 {
+		// The item does not dominate the hot socket: move it wholesale to
+		// the coldest socket.
+		moved := hottest.IVPSM.MoveRange(alloc, hottest.IVRange, cold)
+		moved += hottest.DictPSM.MoveRange(alloc, hottest.DictRange, cold)
+		if hottest.IXPSM != nil {
+			moved += hottest.IXPSM.MoveRange(alloc, hottest.IXRange, cold)
+		}
+		p.PagesMoved += moved
+		p.Actions = append(p.Actions, Action{Time: now, Kind: "move", Column: hottest.Name, From: hot, To: cold})
+		return
+	}
+	// The item dominates: increase its partition count, placing the new
+	// partition on the coldest socket. IVP when the item's traffic is
+	// IV-scan dominated, PP otherwise (Figure 20); whole-column management
+	// uses IVP here — PP operates at table granularity and is delegated to
+	// the repartitioning tooling.
+	nparts := hottest.NumPartitions()
+	if nparts >= p.Cfg.MaxPartitions {
+		return
+	}
+	sockets := currentIVSockets(hottest)
+	sockets = append(sockets, cold)
+	moved := p.Engine.Placer.RepartitionIVP(hottest, sockets)
+	p.PagesMoved += moved
+	kind := "partition-ivp"
+	if hottestTraffic != nil && hottestTraffic.DictBytes > hottestTraffic.IVBytes {
+		kind = "partition-pp"
+	}
+	p.Actions = append(p.Actions, Action{Time: now, Kind: kind, Column: hottest.Name, From: hot, To: cold, Parts: nparts + 1})
+}
+
+// shrinkCold implements the balanced branch: partitioned items with no
+// active traffic collapse back toward a single partition, freeing the
+// machine from unnecessary partitioning overhead (Section 6.1.4).
+func (p *Placer) shrinkCold(now float64, traffic map[string]*core.ItemTraffic) {
+	for _, col := range p.Catalog.Columns() {
+		if col.NumPartitions() <= 1 {
+			continue
+		}
+		if it := traffic[col.Name]; it != nil && it.Bytes > 0 {
+			continue // item is warm
+		}
+		sockets := currentIVSockets(col)
+		moved := p.Engine.Placer.RepartitionIVP(col, sockets[:len(sockets)-1])
+		p.PagesMoved += moved
+		p.Actions = append(p.Actions, Action{Time: now, Kind: "shrink", Column: col.Name, Parts: col.NumPartitions()})
+		return // at most one shrink per round
+	}
+}
+
+// currentIVSockets lists the sockets of the column's IVP partitions in
+// partition order.
+func currentIVSockets(col *colstore.Column) []int {
+	n := col.NumPartitions()
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		from, to := col.PartitionBounds(i)
+		mid := (from + to) / 2
+		addr := col.IVRange.Start
+		off := col.IVOffsetForRow(mid)
+		if off < col.IVRange.Bytes {
+			addr += memsim.Addr(off)
+		}
+		s := col.IVPSM.LocationOf(addr)
+		if s < 0 {
+			s = 0
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmin(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

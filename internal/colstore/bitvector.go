@@ -1,0 +1,159 @@
+package colstore
+
+import "fmt"
+
+// PackedVector is a bit-compressed integer vector: n values stored with a
+// fixed number of bits each ("bitcase" in the paper), packed contiguously
+// into 64-bit words. It is the in-memory format of the indexvector, matching
+// the SIMD-scannable layout of Willhalm et al. [33]; the Go scan kernels in
+// scan.go operate on whole words the way the SSE kernels operate on vector
+// registers.
+type PackedVector struct {
+	bits  uint // bits per value, 1..32
+	n     int
+	words []uint64
+}
+
+// NewPackedVector creates a vector of n values of the given width.
+func NewPackedVector(bits uint, n int) *PackedVector {
+	if bits < 1 || bits > 32 {
+		panic(fmt.Sprintf("colstore: bitcase %d out of range [1,32]", bits))
+	}
+	words := (uint64(n)*uint64(bits) + 63) / 64
+	return &PackedVector{bits: bits, n: n, words: make([]uint64, words)}
+}
+
+// PackValues builds a packed vector from a slice of values.
+func PackValues(bits uint, values []uint32) *PackedVector {
+	v := NewPackedVector(bits, len(values))
+	for i, x := range values {
+		v.Set(i, x)
+	}
+	return v
+}
+
+// Bits returns the bitcase.
+func (v *PackedVector) Bits() uint { return v.bits }
+
+// Len returns the number of values.
+func (v *PackedVector) Len() int { return v.n }
+
+// SizeBytes returns the packed size in bytes.
+func (v *PackedVector) SizeBytes() int64 { return int64(len(v.words)) * 8 }
+
+// Set stores a value at position i. The value must fit in the bitcase.
+func (v *PackedVector) Set(i int, x uint32) {
+	if uint64(x) >= 1<<v.bits {
+		panic(fmt.Sprintf("colstore: value %d does not fit in %d bits", x, v.bits))
+	}
+	bitPos := uint64(i) * uint64(v.bits)
+	word := bitPos / 64
+	off := bitPos % 64
+	mask := uint64(1)<<v.bits - 1
+	v.words[word] = v.words[word]&^(mask<<off) | uint64(x)<<off
+	if off+uint64(v.bits) > 64 {
+		spill := off + uint64(v.bits) - 64
+		hiMask := uint64(1)<<spill - 1
+		v.words[word+1] = v.words[word+1]&^hiMask | uint64(x)>>(uint64(v.bits)-spill)
+	}
+}
+
+// Get loads the value at position i.
+func (v *PackedVector) Get(i int) uint32 {
+	bitPos := uint64(i) * uint64(v.bits)
+	word := bitPos / 64
+	off := bitPos % 64
+	mask := uint64(1)<<v.bits - 1
+	x := v.words[word] >> off
+	if off+uint64(v.bits) > 64 {
+		x |= v.words[word+1] << (64 - off)
+	}
+	return uint32(x & mask)
+}
+
+// ScanRange appends to out the positions in [from, to) whose value lies in
+// [lo, hi], the core predicate kernel of the paper's scans. It processes the
+// packed words directly rather than calling Get per element.
+func (v *PackedVector) ScanRange(lo, hi uint32, from, to int, out []uint32) []uint32 {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("colstore: scan range [%d,%d) out of [0,%d)", from, to, v.n))
+	}
+	if lo > hi {
+		return out
+	}
+	bits := uint64(v.bits)
+	mask := uint64(1)<<bits - 1
+	bitPos := uint64(from) * bits
+	for i := from; i < to; i++ {
+		word := bitPos / 64
+		off := bitPos % 64
+		x := v.words[word] >> off
+		if off+bits > 64 {
+			x |= v.words[word+1] << (64 - off)
+		}
+		val := uint32(x & mask)
+		if val >= lo && val <= hi {
+			out = append(out, uint32(i))
+		}
+		bitPos += bits
+	}
+	return out
+}
+
+// ScanRangeBitvector sets a bit in dst for every position in [from, to)
+// whose value lies in [lo, hi]. dst must have at least (v.Len()+63)/64
+// words. Returns the number of matches. This is the high-selectivity result
+// format of Section 5.2.
+func (v *PackedVector) ScanRangeBitvector(lo, hi uint32, from, to int, dst []uint64) int {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("colstore: scan range [%d,%d) out of [0,%d)", from, to, v.n))
+	}
+	if lo > hi {
+		return 0
+	}
+	bits := uint64(v.bits)
+	mask := uint64(1)<<bits - 1
+	bitPos := uint64(from) * bits
+	matches := 0
+	for i := from; i < to; i++ {
+		word := bitPos / 64
+		off := bitPos % 64
+		x := v.words[word] >> off
+		if off+bits > 64 {
+			x |= v.words[word+1] << (64 - off)
+		}
+		val := uint32(x & mask)
+		if val >= lo && val <= hi {
+			dst[i/64] |= 1 << (uint(i) % 64)
+			matches++
+		}
+		bitPos += bits
+	}
+	return matches
+}
+
+// CountRange returns how many positions in [from, to) hold values in
+// [lo, hi] without materializing them.
+func (v *PackedVector) CountRange(lo, hi uint32, from, to int) int {
+	if lo > hi {
+		return 0
+	}
+	bits := uint64(v.bits)
+	mask := uint64(1)<<bits - 1
+	bitPos := uint64(from) * bits
+	n := 0
+	for i := from; i < to; i++ {
+		word := bitPos / 64
+		off := bitPos % 64
+		x := v.words[word] >> off
+		if off+bits > 64 {
+			x |= v.words[word+1] << (64 - off)
+		}
+		val := uint32(x & mask)
+		if val >= lo && val <= hi {
+			n++
+		}
+		bitPos += bits
+	}
+	return n
+}

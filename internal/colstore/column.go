@@ -1,0 +1,334 @@
+// Package colstore implements the main-memory column-store data structures
+// of Section 4.1 of the paper: dictionary-encoded columns with a sorted
+// dictionary, a bit-compressed indexvector (IV) of value identifiers (vids),
+// and an optional inverted index (IX) mapping vids to IV positions. Scans
+// and materialization are functionally real; their memory placement and
+// timing are handled by the placement and core packages via simulated
+// address ranges attached to each component.
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"numacs/internal/memsim"
+	"numacs/internal/psm"
+)
+
+// ValueSize is the width of a materialized (decoded) value in bytes; the
+// paper's workload uses integer columns.
+const ValueSize = 8
+
+// ExpectedDistinct returns the expected number of distinct values when
+// drawing n uniform values from a domain of size d.
+func ExpectedDistinct(n int, d int64) int {
+	if d <= 0 {
+		return 1
+	}
+	exp := float64(d) * (1 - math.Exp(-float64(n)/float64(d)))
+	e := int(exp + 0.5)
+	if e < 1 {
+		e = 1
+	}
+	if e > n {
+		e = n
+	}
+	return e
+}
+
+// NewSynthetic builds a column with realistic sizes (bit-packed IV, sized
+// dictionary and optional index) but no data: rows uniform draws from
+// [0, domain).
+func NewSynthetic(name string, rows int, domain int64, withIndex bool) *Column {
+	distinct := ExpectedDistinct(rows, domain)
+	bc := uint(1)
+	for (1 << bc) < distinct {
+		bc++
+	}
+	c := &Column{
+		Name:      name,
+		Bitcase:   bc,
+		Rows:      rows,
+		IVec:      NewPackedVector(bc, rows),
+		Dict:      make([]int64, distinct),
+		Synthetic: true,
+		Domain:    domain,
+	}
+	if withIndex {
+		c.Idx = &Index{
+			Offsets:  make([]uint32, distinct+1),
+			Postings: make([]uint32, rows),
+		}
+	}
+	return c
+}
+
+// Index is the optional inverted index of Figure 3: Offsets[vid] indexes
+// into Postings, which holds the (sorted) IV positions of each vid.
+type Index struct {
+	Offsets  []uint32 // len = #vids + 1
+	Postings []uint32 // len = #rows
+}
+
+// PositionsOf returns the IV positions holding the given vid.
+func (ix *Index) PositionsOf(vid uint32) []uint32 {
+	return ix.Postings[ix.Offsets[vid]:ix.Offsets[vid+1]]
+}
+
+// SizeBytes returns the memory footprint of the index.
+func (ix *Index) SizeBytes() int64 {
+	return int64(len(ix.Offsets)+len(ix.Postings)) * 4
+}
+
+// Component identifies one of the three data structures of a column.
+type Component int
+
+const (
+	IV Component = iota
+	Dict
+	IX
+)
+
+func (c Component) String() string {
+	switch c {
+	case IV:
+		return "IV"
+	case Dict:
+		return "dict"
+	case IX:
+		return "IX"
+	default:
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+}
+
+// Column is a dictionary-encoded column (Figure 3). The simulated address
+// ranges (IVRange etc.) and PSMs are populated when the column is placed by
+// the placement package; scheduling consults the PSMs to define task
+// affinities (Section 5.2).
+type Column struct {
+	Name    string
+	Bitcase uint
+
+	Rows int
+	IVec *PackedVector
+	Dict []int64
+	Idx  *Index
+
+	// Synthetic marks a column whose structures are correctly sized but hold
+	// no data (the simulation harness uses analytic match counts, so the
+	// values are never read). Domain is the generator's value domain, needed
+	// to size per-part dictionaries when physically partitioning.
+	Synthetic bool
+	Domain    int64
+
+	// Simulated placement metadata.
+	IVRange   memsim.Range
+	DictRange memsim.Range
+	IXRange   memsim.Range
+	IVPSM     *psm.PSM
+	DictPSM   *psm.PSM
+	IXPSM     *psm.PSM
+
+	// Partitions covers the IV row space when the column is IVP-partitioned;
+	// empty means a single part. Entries are row offsets: partition i spans
+	// rows [Partitions[i], Partitions[i+1]).
+	Partitions []int
+
+	// ReplicaSockets lists the sockets holding a full replica of the column
+	// (IV + dictionary + IX). Replication is the "other data placement" of
+	// Section 4.2: it trades memory for the freedom to scan on any of the
+	// replica sockets. Empty means unreplicated; when set, the primary copy
+	// described by the ranges above lives on ReplicaSockets[0].
+	ReplicaSockets []int
+}
+
+// Replicated reports whether the column has replicas.
+func (c *Column) Replicated() bool { return len(c.ReplicaSockets) > 1 }
+
+// NearestReplica returns the replica socket with the lowest access latency
+// from the given socket (the socket itself if it holds a replica).
+func (c *Column) NearestReplica(from int, latency func(src, dst int) float64) int {
+	if len(c.ReplicaSockets) == 0 {
+		return -1
+	}
+	best := c.ReplicaSockets[0]
+	for _, s := range c.ReplicaSockets[1:] {
+		if latency(from, s) < latency(from, best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// Build dictionary-encodes values into a column. When withIndex is set, the
+// inverted index is built as well. The bitcase is the minimum width that
+// fits the dictionary size, matching the paper's bit-compression.
+func Build(name string, values []int64, withIndex bool) *Column {
+	if len(values) == 0 {
+		panic("colstore: empty column")
+	}
+	// Sort distinct values -> dictionary.
+	dict := make([]int64, len(values))
+	copy(dict, values)
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	w := 0
+	for i := 1; i < len(dict); i++ {
+		if dict[i] != dict[w] {
+			w++
+			dict[w] = dict[i]
+		}
+	}
+	dict = dict[:w+1]
+
+	bitcase := uint(bits.Len(uint(len(dict) - 1)))
+	if bitcase == 0 {
+		bitcase = 1
+	}
+	iv := NewPackedVector(bitcase, len(values))
+	for i, v := range values {
+		vid := sort.Search(len(dict), func(j int) bool { return dict[j] >= v })
+		iv.Set(i, uint32(vid))
+	}
+	c := &Column{
+		Name:    name,
+		Bitcase: bitcase,
+		Rows:    len(values),
+		IVec:    iv,
+		Dict:    dict,
+	}
+	if withIndex {
+		c.BuildIndex()
+	}
+	return c
+}
+
+// BuildIndex constructs the inverted index from the IV.
+func (c *Column) BuildIndex() {
+	counts := make([]uint32, len(c.Dict)+1)
+	for i := 0; i < c.Rows; i++ {
+		counts[c.IVec.Get(i)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets := make([]uint32, len(counts))
+	copy(offsets, counts)
+	postings := make([]uint32, c.Rows)
+	next := make([]uint32, len(c.Dict))
+	copy(next, offsets[:len(c.Dict)])
+	for i := 0; i < c.Rows; i++ {
+		vid := c.IVec.Get(i)
+		postings[next[vid]] = uint32(i)
+		next[vid]++
+	}
+	c.Idx = &Index{Offsets: offsets, Postings: postings}
+}
+
+// NumDistinct returns the dictionary size.
+func (c *Column) NumDistinct() int { return len(c.Dict) }
+
+// IVBytes returns the packed size of the indexvector.
+func (c *Column) IVBytes() int64 { return c.IVec.SizeBytes() }
+
+// DictBytes returns the dictionary size in bytes.
+func (c *Column) DictBytes() int64 { return int64(len(c.Dict)) * ValueSize }
+
+// TotalBytes returns the full footprint (IV + dict + IX).
+func (c *Column) TotalBytes() int64 {
+	t := c.IVBytes() + c.DictBytes()
+	if c.Idx != nil {
+		t += c.Idx.SizeBytes()
+	}
+	return t
+}
+
+// EncodePredicate translates a value-range predicate [loVal, hiVal] into a
+// vid range [loVid, hiVid] via binary search on the dictionary (the
+// predicate-encoding step of Section 5.2). ok is false when no dictionary
+// value falls in the range.
+func (c *Column) EncodePredicate(loVal, hiVal int64) (loVid, hiVid uint32, ok bool) {
+	lo := sort.Search(len(c.Dict), func(i int) bool { return c.Dict[i] >= loVal })
+	hi := sort.Search(len(c.Dict), func(i int) bool { return c.Dict[i] > hiVal })
+	if lo >= hi {
+		return 0, 0, false
+	}
+	return uint32(lo), uint32(hi - 1), true
+}
+
+// Value returns the decoded value at a row (for verification).
+func (c *Column) Value(row int) int64 { return c.Dict[c.IVec.Get(row)] }
+
+// ScanPositions scans rows [from, to) for vids in [loVid, hiVid] and appends
+// matching positions to out (the low-selectivity result format).
+func (c *Column) ScanPositions(loVid, hiVid uint32, from, to int, out []uint32) []uint32 {
+	return c.IVec.ScanRange(loVid, hiVid, from, to, out)
+}
+
+// IndexLookupPositions collects, via the index, all IV positions holding
+// vids in [loVid, hiVid]. Positions are returned in vid-major order, the
+// natural output order of index lookups (Section 5.2).
+func (c *Column) IndexLookupPositions(loVid, hiVid uint32, out []uint32) []uint32 {
+	if c.Idx == nil {
+		panic(fmt.Sprintf("colstore: column %s has no index", c.Name))
+	}
+	for vid := loVid; vid <= hiVid; vid++ {
+		out = append(out, c.Idx.PositionsOf(vid)...)
+	}
+	return out
+}
+
+// Materialize decodes the values at the given IV positions into out
+// (dictionary random accesses; the output-materialization phase of Section
+// 5.2). out must have len(positions) capacity.
+func (c *Column) Materialize(positions []uint32, out []int64) {
+	for i, p := range positions {
+		out[i] = c.Dict[c.IVec.Get(int(p))]
+	}
+}
+
+// IVBytesForRows returns the packed IV bytes covering rows [from, to),
+// rounded outward to byte boundaries — the bytes a scan task actually
+// streams.
+func (c *Column) IVBytesForRows(from, to int) int64 {
+	startBit := uint64(from) * uint64(c.Bitcase)
+	endBit := uint64(to) * uint64(c.Bitcase)
+	return int64((endBit+7)/8 - startBit/8)
+}
+
+// IVOffsetForRow returns the byte offset within the IV of the word holding
+// the given row, used to locate scan ranges within the IV's address range.
+func (c *Column) IVOffsetForRow(row int) int64 {
+	return int64(uint64(row) * uint64(c.Bitcase) / 8)
+}
+
+// PartitionOf returns the index of the IVP partition containing the row, or
+// 0 when the column is unpartitioned.
+func (c *Column) PartitionOf(row int) int {
+	if len(c.Partitions) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.Partitions), func(i int) bool { return c.Partitions[i] > row })
+	return i - 1
+}
+
+// NumPartitions returns the number of IVP partitions (1 when unpartitioned).
+func (c *Column) NumPartitions() int {
+	if len(c.Partitions) == 0 {
+		return 1
+	}
+	return len(c.Partitions) - 1
+}
+
+// PartitionBounds returns the row range of IVP partition i.
+func (c *Column) PartitionBounds(i int) (from, to int) {
+	if len(c.Partitions) == 0 {
+		if i != 0 {
+			panic("colstore: column has a single partition")
+		}
+		return 0, c.Rows
+	}
+	return c.Partitions[i], c.Partitions[i+1]
+}

@@ -1,0 +1,106 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVidSetBasics(t *testing.T) {
+	s := NewVidSet(200)
+	if s.Contains(5) || s.Len() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(5)
+	s.Add(130)
+	s.Add(5) // duplicate
+	if !s.Contains(5) || !s.Contains(130) || s.Contains(6) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Contains(100000) {
+		t.Fatal("out-of-range vid reported present")
+	}
+}
+
+func TestEncodeInList(t *testing.T) {
+	c := Build("c", []int64{10, 20, 30, 40, 20, 10}, false)
+	s := c.EncodeInList([]int64{20, 40, 99})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (99 absent)", s.Len())
+	}
+	lo20, _, _ := c.EncodePredicate(20, 20)
+	lo40, _, _ := c.EncodePredicate(40, 40)
+	if !s.Contains(lo20) || !s.Contains(lo40) {
+		t.Fatal("encoded vids missing")
+	}
+}
+
+func TestScanInListMatchesNaive(t *testing.T) {
+	vals := testValues(3000, 500, 21)
+	c := Build("c", vals, false)
+	inList := []int64{3, 77, 123, 444, 499}
+	set := c.EncodeInList(inList)
+	got := c.ScanInListPositions(set, 0, c.Rows, nil)
+	want := map[int64]bool{}
+	for _, v := range inList {
+		want[v] = true
+	}
+	naive := 0
+	for i, v := range vals {
+		if want[v] {
+			if naive >= len(got) || got[naive] != uint32(i) {
+				t.Fatalf("mismatch at match %d (row %d)", naive, i)
+			}
+			naive++
+		}
+	}
+	if naive != len(got) {
+		t.Fatalf("found %d, want %d", len(got), naive)
+	}
+}
+
+func TestScanInListSubrange(t *testing.T) {
+	c := Build("c", []int64{1, 2, 3, 1, 2, 3, 1, 2, 3}, false)
+	set := c.EncodeInList([]int64{2})
+	got := c.ScanInListPositions(set, 2, 7, nil)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("got %v, want [4]", got)
+	}
+}
+
+// Property: an IN-list scan equals the union of single-value range scans.
+func TestScanInListUnionProperty(t *testing.T) {
+	f := func(seed uint32, pick [4]uint8) bool {
+		vals := testValues(600, 60, seed|1)
+		c := Build("c", vals, false)
+		var list []int64
+		for _, p := range pick {
+			list = append(list, int64(p%60))
+		}
+		set := c.EncodeInList(list)
+		got := c.ScanInListPositions(set, 0, c.Rows, nil)
+
+		seen := map[uint32]bool{}
+		for _, v := range list {
+			if lo, hi, ok := c.EncodePredicate(v, v); ok {
+				for _, pos := range c.ScanPositions(lo, hi, 0, c.Rows, nil) {
+					seen[pos] = true
+				}
+			}
+		}
+		if len(seen) != len(got) {
+			return false
+		}
+		for _, pos := range got {
+			if !seen[pos] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

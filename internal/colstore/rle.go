@@ -1,0 +1,141 @@
+package colstore
+
+import "fmt"
+
+// RLEVector is a run-length-encoded value-identifier vector — the further IV
+// compression mentioned in Section 8 ("IV can be further compressed using,
+// e.g., run-length or prefix encoding"). It stores maximal runs of equal
+// vids as (start position, vid) pairs; run i spans positions
+// [Starts[i], Starts[i+1]). Scans over an RLEVector skip whole runs, so
+// their cost scales with the number of runs rather than the number of rows —
+// which is why RLE pays off only on sorted or low-cardinality data. The
+// paper notes such compression changes task CPU/memory intensity but not the
+// placement and scheduling implications.
+type RLEVector struct {
+	n      int
+	Starts []uint32 // len = runs+1; Starts[runs] = n
+	Vids   []uint32 // len = runs
+}
+
+// BuildRLE run-length-encodes a packed vector.
+func BuildRLE(iv *PackedVector) *RLEVector {
+	r := &RLEVector{n: iv.Len()}
+	if iv.Len() == 0 {
+		r.Starts = []uint32{0}
+		return r
+	}
+	cur := iv.Get(0)
+	r.Starts = append(r.Starts, 0)
+	r.Vids = append(r.Vids, cur)
+	for i := 1; i < iv.Len(); i++ {
+		v := iv.Get(i)
+		if v != cur {
+			r.Starts = append(r.Starts, uint32(i))
+			r.Vids = append(r.Vids, v)
+			cur = v
+		}
+	}
+	r.Starts = append(r.Starts, uint32(iv.Len()))
+	return r
+}
+
+// Len returns the number of logical positions.
+func (r *RLEVector) Len() int { return r.n }
+
+// Runs returns the number of runs.
+func (r *RLEVector) Runs() int { return len(r.Vids) }
+
+// SizeBytes returns the encoded size (4 bytes per start + 4 per vid).
+func (r *RLEVector) SizeBytes() int64 {
+	return int64(len(r.Starts)+len(r.Vids)) * 4
+}
+
+// Get decodes the vid at a position via binary search over run starts.
+func (r *RLEVector) Get(pos int) uint32 {
+	if pos < 0 || pos >= r.n {
+		panic(fmt.Sprintf("colstore: RLE position %d out of [0,%d)", pos, r.n))
+	}
+	lo, hi := 0, len(r.Vids)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(r.Starts[mid]) <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return r.Vids[lo]
+}
+
+// ScanRange appends the positions in [from, to) whose vid lies in [lo, hi],
+// skipping whole runs — the RLE scan kernel.
+func (r *RLEVector) ScanRange(lo, hi uint32, from, to int, out []uint32) []uint32 {
+	if from < 0 || to > r.n || from > to {
+		panic(fmt.Sprintf("colstore: RLE scan range [%d,%d) out of [0,%d)", from, to, r.n))
+	}
+	if lo > hi || from == to {
+		return out
+	}
+	// Find the run containing 'from'.
+	ri := 0
+	{
+		l, h := 0, len(r.Vids)-1
+		for l < h {
+			mid := (l + h + 1) / 2
+			if int(r.Starts[mid]) <= from {
+				l = mid
+			} else {
+				h = mid - 1
+			}
+		}
+		ri = l
+	}
+	for ; ri < len(r.Vids) && int(r.Starts[ri]) < to; ri++ {
+		v := r.Vids[ri]
+		if v < lo || v > hi {
+			continue
+		}
+		s := int(r.Starts[ri])
+		e := int(r.Starts[ri+1])
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		for p := s; p < e; p++ {
+			out = append(out, uint32(p))
+		}
+	}
+	return out
+}
+
+// CountRange counts positions in [from, to) with vids in [lo, hi] without
+// materializing them — for RLE this touches only run boundaries.
+func (r *RLEVector) CountRange(lo, hi uint32, from, to int) int {
+	if lo > hi || from >= to {
+		return 0
+	}
+	count := 0
+	for ri := 0; ri < len(r.Vids); ri++ {
+		s, e := int(r.Starts[ri]), int(r.Starts[ri+1])
+		if e <= from {
+			continue
+		}
+		if s >= to {
+			break
+		}
+		v := r.Vids[ri]
+		if v < lo || v > hi {
+			continue
+		}
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		count += e - s
+	}
+	return count
+}

@@ -1,0 +1,151 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func rleFixture() (*PackedVector, *RLEVector) {
+	// 2,2,2,5,5,1,1,1,1,7
+	iv := PackValues(4, []uint32{2, 2, 2, 5, 5, 1, 1, 1, 1, 7})
+	return iv, BuildRLE(iv)
+}
+
+func TestBuildRLERuns(t *testing.T) {
+	_, r := rleFixture()
+	if r.Runs() != 4 {
+		t.Fatalf("runs = %d, want 4", r.Runs())
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRLEGetAgreesWithPacked(t *testing.T) {
+	iv, r := rleFixture()
+	for i := 0; i < iv.Len(); i++ {
+		if r.Get(i) != iv.Get(i) {
+			t.Fatalf("pos %d: rle %d, packed %d", i, r.Get(i), iv.Get(i))
+		}
+	}
+}
+
+func TestRLEScanMatchesPackedScan(t *testing.T) {
+	iv, r := rleFixture()
+	for _, tc := range []struct{ lo, hi uint32 }{{1, 2}, {5, 5}, {0, 7}, {3, 4}, {7, 1}} {
+		want := iv.ScanRange(tc.lo, tc.hi, 0, iv.Len(), nil)
+		got := r.ScanRange(tc.lo, tc.hi, 0, r.Len(), nil)
+		if len(want) != len(got) {
+			t.Fatalf("[%d,%d]: rle %v, packed %v", tc.lo, tc.hi, got, want)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("[%d,%d]: rle %v, packed %v", tc.lo, tc.hi, got, want)
+			}
+		}
+	}
+}
+
+func TestRLEScanSubrange(t *testing.T) {
+	iv, r := rleFixture()
+	want := iv.ScanRange(1, 5, 2, 8, nil)
+	got := r.ScanRange(1, 5, 2, 8, nil)
+	if len(want) != len(got) {
+		t.Fatalf("subrange: rle %v, packed %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("subrange: rle %v, packed %v", got, want)
+		}
+	}
+}
+
+func TestRLECountRange(t *testing.T) {
+	iv, r := rleFixture()
+	if got, want := r.CountRange(1, 2, 0, 10), iv.CountRange(1, 2, 0, 10); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if got := r.CountRange(9, 9, 0, 10); got != 0 {
+		t.Fatalf("count of absent vid = %d", got)
+	}
+}
+
+func TestRLECompressionWinsOnSortedData(t *testing.T) {
+	// Sorted low-cardinality data compresses to few runs; random data does
+	// not — the trade-off Section 8 alludes to.
+	sorted := make([]uint32, 10000)
+	for i := range sorted {
+		sorted[i] = uint32(i / 500) // 20 runs
+	}
+	ivSorted := PackValues(8, sorted)
+	rleSorted := BuildRLE(ivSorted)
+	if rleSorted.Runs() != 20 {
+		t.Fatalf("sorted runs = %d, want 20", rleSorted.Runs())
+	}
+	if rleSorted.SizeBytes() >= ivSorted.SizeBytes() {
+		t.Fatalf("RLE (%d B) should beat bit-packing (%d B) on sorted data",
+			rleSorted.SizeBytes(), ivSorted.SizeBytes())
+	}
+
+	random := make([]uint32, 10000)
+	s := uint32(7)
+	for i := range random {
+		s = s*1664525 + 1013904223
+		random[i] = s % 200
+	}
+	rleRandom := BuildRLE(PackValues(8, random))
+	if rleRandom.SizeBytes() <= PackValues(8, random).SizeBytes() {
+		t.Fatal("RLE should lose to bit-packing on random data")
+	}
+}
+
+func TestRLEEmptyAndSingle(t *testing.T) {
+	r := BuildRLE(NewPackedVector(4, 0))
+	if r.Len() != 0 || r.Runs() != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	one := BuildRLE(PackValues(4, []uint32{9}))
+	if one.Runs() != 1 || one.Get(0) != 9 {
+		t.Fatalf("single: %+v", one)
+	}
+}
+
+// Property: RLE round-trips and scans agree with the packed kernels on
+// random run-structured data.
+func TestRLEEquivalenceProperty(t *testing.T) {
+	f := func(seed uint32, loRaw, hiRaw uint8) bool {
+		s := seed
+		var vals []uint32
+		for len(vals) < 300 {
+			s = s*1664525 + 1013904223
+			v := s % 16
+			s = s*1664525 + 1013904223
+			runLen := 1 + int(s%9)
+			for j := 0; j < runLen && len(vals) < 300; j++ {
+				vals = append(vals, v)
+			}
+		}
+		iv := PackValues(4, vals)
+		r := BuildRLE(iv)
+		for i := range vals {
+			if r.Get(i) != vals[i] {
+				return false
+			}
+		}
+		lo, hi := uint32(loRaw%16), uint32(hiRaw%16)
+		want := iv.ScanRange(lo, hi, 10, 290, nil)
+		got := r.ScanRange(lo, hi, 10, 290, nil)
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return r.CountRange(lo, hi, 10, 290) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

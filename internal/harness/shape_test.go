@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"numacs/internal/core"
+	"numacs/internal/workload"
+)
+
+// smallDataset keeps unit-test runtime low.
+func smallDataset(cols int) workload.DatasetConfig {
+	return workload.DatasetConfig{
+		Rows: 200_000, Columns: cols, BitcaseMin: 12, BitcaseMax: 21, Seed: 1,
+	}
+}
+
+func runCell(t *testing.T, strategy core.Strategy, placement PlacementSpec, clients int, skew bool) Result {
+	t.Helper()
+	return Run(Spec{
+		Machine:     FourSocket,
+		Dataset:     smallDataset(16),
+		Placement:   placement,
+		Strategy:    strategy,
+		Clients:     clients,
+		Selectivity: 0.00001,
+		Parallel:    true,
+		Skew:        skew,
+		Warmup:      0.05,
+		Measure:     0.2,
+	})
+}
+
+// TestFig8Shape verifies the headline result: with RR-placed columns and a
+// uniform memory-intensive workload at high concurrency, NUMA-aware
+// scheduling (Target/Bound) massively outperforms OS scheduling, with Bound
+// at least matching Target (Figure 8).
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test")
+	}
+	os := runCell(t, core.OSched, PlacementSpec{Kind: RR}, 256, false)
+	target := runCell(t, core.Target, PlacementSpec{Kind: RR}, 256, false)
+	bound := runCell(t, core.Bound, PlacementSpec{Kind: RR}, 256, false)
+
+	t.Logf("OS:     qpm=%.0f memTP=%.1f GiB/s ipc=%.2f stolen=%d llcR%%=%.0f",
+		os.QPM, os.MemTPTotal, os.IPC, os.Stolen, 100*os.LLCRemote/(os.LLCLocal+os.LLCRemote))
+	t.Logf("Target: qpm=%.0f memTP=%.1f GiB/s ipc=%.2f stolen=%d",
+		target.QPM, target.MemTPTotal, target.IPC, target.Stolen)
+	t.Logf("Bound:  qpm=%.0f memTP=%.1f GiB/s ipc=%.2f stolen=%d",
+		bound.QPM, bound.MemTPTotal, bound.IPC, bound.Stolen)
+
+	if bound.QPM < 3*os.QPM {
+		t.Errorf("Bound/OS = %.2fx, want >= 3x (paper: ~5x)", bound.QPM/os.QPM)
+	}
+	if bound.QPM < target.QPM*0.95 {
+		t.Errorf("Bound (%.0f) should be >= Target (%.0f)", bound.QPM, target.QPM)
+	}
+	if bound.Stolen != 0 {
+		t.Errorf("Bound stole %d tasks", bound.Stolen)
+	}
+	// OS traffic is mostly remote; Bound mostly local.
+	if os.LLCRemote < os.LLCLocal {
+		t.Errorf("OS should be mostly remote: local=%.0f remote=%.0f", os.LLCLocal, os.LLCRemote)
+	}
+	if bound.LLCRemote > bound.LLCLocal*0.1 {
+		t.Errorf("Bound should be mostly local: local=%.0f remote=%.0f", bound.LLCLocal, bound.LLCRemote)
+	}
+	// Memory throughput drives the gap (Figure 1b / 8).
+	if bound.MemTPTotal < 2.5*os.MemTPTotal {
+		t.Errorf("Bound memTP (%.1f) should dwarf OS (%.1f)", bound.MemTPTotal, os.MemTPTotal)
+	}
+}

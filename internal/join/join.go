@@ -1,0 +1,371 @@
+// Package join implements the Section 8 extension the paper announces as
+// ongoing work ("we are working on extending our analysis and our envisioned
+// design to incorporate more complex operators, such as joins ... what we
+// need to consider additionally is the placement of the data structures used
+// internally in the operator, and placing correlated data on the same socket
+// or on nearby sockets").
+//
+// The package provides both layers in the same style as the rest of the
+// repository: a real, tested hash-join over dictionary-encoded columns, and
+// a NUMA-aware simulated execution whose build and probe tasks carry socket
+// affinities derived from the data placement — including the placement of
+// the operator-internal hash table.
+package join
+
+import (
+	"fmt"
+
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/memsim"
+	"numacs/internal/sched"
+	"numacs/internal/sim"
+)
+
+// ---- functional hash join ---------------------------------------------------
+
+// HashTable is an open-addressing hash table from join-key values to build-
+// side row ids (multi-map: repeated keys chain through the overflow list).
+type HashTable struct {
+	mask    uint64
+	keys    []int64
+	rows    []uint32
+	used    []bool
+	next    []int32 // overflow chain per slot, -1 terminated
+	entries int
+}
+
+// BuildHashTable hashes every row of the build column.
+func BuildHashTable(build *colstore.Column) *HashTable {
+	size := 1
+	for size < build.Rows*2 {
+		size *= 2
+	}
+	ht := &HashTable{
+		mask: uint64(size - 1),
+		keys: make([]int64, size),
+		rows: make([]uint32, size),
+		used: make([]bool, size),
+		next: make([]int32, size),
+	}
+	for i := range ht.next {
+		ht.next[i] = -1
+	}
+	for i := 0; i < build.Rows; i++ {
+		ht.insert(build.Value(i), uint32(i))
+	}
+	return ht
+}
+
+func hash64(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (ht *HashTable) insert(key int64, row uint32) {
+	slot := hash64(key) & ht.mask
+	for ht.used[slot] {
+		slot = (slot + 1) & ht.mask
+	}
+	ht.keys[slot] = key
+	ht.rows[slot] = row
+	ht.used[slot] = true
+	ht.entries++
+}
+
+// Entries returns the number of build rows stored.
+func (ht *HashTable) Entries() int { return ht.entries }
+
+// SizeBytes returns the table's memory footprint.
+func (ht *HashTable) SizeBytes() int64 {
+	return int64(len(ht.keys))*(8+4+4) + int64(len(ht.used))
+}
+
+// ProbeValue appends the build rows whose key equals v.
+func (ht *HashTable) ProbeValue(v int64, out []uint32) []uint32 {
+	slot := hash64(v) & ht.mask
+	for ht.used[slot] {
+		if ht.keys[slot] == v {
+			out = append(out, ht.rows[slot])
+		}
+		slot = (slot + 1) & ht.mask
+	}
+	return out
+}
+
+// Pair is one join match.
+type Pair struct {
+	BuildRow uint32
+	ProbeRow uint32
+}
+
+// HashJoin joins two columns on value equality and returns all matching
+// (build row, probe row) pairs in probe order.
+func HashJoin(build, probe *colstore.Column) []Pair {
+	ht := BuildHashTable(build)
+	var out []Pair
+	var hits []uint32
+	for i := 0; i < probe.Rows; i++ {
+		hits = ht.ProbeValue(probe.Value(i), hits[:0])
+		for _, b := range hits {
+			out = append(out, Pair{BuildRow: b, ProbeRow: uint32(i)})
+		}
+	}
+	return out
+}
+
+// ---- NUMA-aware simulated execution ------------------------------------------
+
+// Spec describes one simulated join execution. Both columns must be placed
+// (PSMs populated). The hash table — the operator-internal structure the
+// paper highlights — is placed per HTSockets: one socket for a centralized
+// table, several for a partitioned table co-located with the build
+// partitions.
+type Spec struct {
+	Build *colstore.Column
+	Probe *colstore.Column
+	// HTSockets lists the sockets holding hash-table partitions. When empty,
+	// the table is placed on the build column's majority socket.
+	HTSockets []int
+	Strategy  core.Strategy
+	// HitsPerProbeRow is the analytic join cardinality per probe row.
+	HitsPerProbeRow float64
+	// HomeSocket of the issuing client.
+	HomeSocket int
+	OnDone     func(latency float64)
+
+	// Cost knobs (zero values take defaults).
+	BuildCyclesPerRow float64
+	ProbeCyclesPerRow float64
+	HTMissRate        float64
+}
+
+// Defaults.
+const (
+	defaultBuildCycles = 25
+	defaultProbeCycles = 18
+	defaultHTMissRate  = 0.5 // hash tables are bigger and colder than dictionaries
+)
+
+// run tracks one executing join.
+type run struct {
+	e       *core.Engine
+	spec    Spec
+	issued  float64
+	htRange memsim.Range
+	pending int
+}
+
+// Execute runs the join on the engine's simulated machine: a parallel build
+// phase (tasks bound to the build data's sockets, writing the hash table),
+// a barrier, then a parallel probe phase (tasks bound to the probe data's
+// sockets, randomly accessing the hash table wherever it was placed).
+func Execute(e *core.Engine, spec Spec) {
+	if spec.Build.IVPSM == nil || spec.Probe.IVPSM == nil {
+		panic("join: columns must be placed before execution")
+	}
+	if len(spec.HTSockets) == 0 {
+		spec.HTSockets = []int{spec.Build.IVPSM.MajoritySocket()}
+	}
+	if spec.BuildCyclesPerRow == 0 {
+		spec.BuildCyclesPerRow = defaultBuildCycles
+	}
+	if spec.ProbeCyclesPerRow == 0 {
+		spec.ProbeCyclesPerRow = defaultProbeCycles
+	}
+	if spec.HTMissRate == 0 {
+		spec.HTMissRate = defaultHTMissRate
+	}
+	r := &run{e: e, spec: spec, issued: e.Sim.Now()}
+	// Allocate the hash table across its sockets (open addressing at 2x the
+	// build rows, 16 bytes per slot).
+	htBytes := int64(spec.Build.Rows) * 2 * 16
+	if len(spec.HTSockets) == 1 {
+		r.htRange = e.Placer.Alloc.Alloc(htBytes, memsim.OnSocket(spec.HTSockets[0]))
+	} else {
+		r.htRange = e.Placer.Alloc.Alloc(htBytes, memsim.Interleaved{Sockets: spec.HTSockets})
+	}
+	r.phase(spec.Build, spec.BuildCyclesPerRow, 1.0, r.probePhase)
+}
+
+// htWeights returns the access distribution over the hash-table sockets.
+func (r *run) htWeights() []float64 {
+	w := make([]float64, r.e.Machine.Sockets)
+	for _, s := range r.spec.HTSockets {
+		w[s] += 1 / float64(len(r.spec.HTSockets))
+	}
+	return w
+}
+
+// phase fans one join phase out over the column's IVP partitions: each task
+// streams its share of the column and performs one hash-table access per
+// row (insert during build, probe afterwards).
+func (r *run) phase(col *colstore.Column, cyclesPerRow, accessesPerRow float64, onBarrier func()) {
+	e := r.e
+	nparts := col.NumPartitions()
+	hint := e.ConcurrencyHint()
+	perPartition := (hint + nparts - 1) / nparts
+	type task struct {
+		from, to, socket int
+	}
+	var tasks []task
+	for pi := 0; pi < nparts; pi++ {
+		pf, pt := col.PartitionBounds(pi)
+		sock := partitionSocket(col, pf, pt)
+		n := perPartition
+		if n > pt-pf {
+			n = pt - pf
+		}
+		for ti := 0; ti < n; ti++ {
+			f := pf + (pt-pf)*ti/n
+			t := pf + (pt-pf)*(ti+1)/n
+			tasks = append(tasks, task{f, t, sock})
+		}
+	}
+	r.pending = len(tasks)
+	weights := r.htWeights()
+	for _, tk := range tasks {
+		tk := tk
+		affinity, hard := affinityFor(r.spec.Strategy, tk.socket)
+		e.Sched.Submit(&sched.Task{
+			Priority: r.issued, Affinity: affinity, Hard: hard, CallerSocket: r.spec.HomeSocket,
+			Run: func(w *sched.Worker, done func()) {
+				r.runTask(w, col, tk.from, tk.to, cyclesPerRow, accessesPerRow, weights,
+					func() {
+						done()
+						r.pending--
+						if r.pending == 0 {
+							onBarrier()
+						}
+					})
+			},
+		})
+	}
+}
+
+// runTask streams the rows' IV bytes, then performs the hash-table random
+// accesses.
+func (r *run) runTask(w *sched.Worker, col *colstore.Column, from, to int,
+	cyclesPerRow, accessesPerRow float64, htWeights []float64, onDone func()) {
+
+	e := r.e
+	src := w.Socket()
+	offFrom := col.IVOffsetForRow(from)
+	bytes := col.IVBytesForRows(from, to)
+	if offFrom+bytes > col.IVRange.Bytes {
+		bytes = col.IVRange.Bytes - offFrom
+	}
+	perSocket := col.IVPSM.SocketBytes(col.IVRange, offFrom, bytes)
+	penalty := 1.0
+	if !w.Bound {
+		penalty = e.Costs.UnboundStreamPenalty
+	}
+
+	// Phase A: stream the column slice.
+	var phases []*sim.Flow
+	for dst, b := range perSocket {
+		if b == 0 {
+			continue
+		}
+		dst := dst
+		demands, lt := e.HW.StreamDemands(src, dst, w.CoreRes, 0.3)
+		phases = append(phases, &sim.Flow{
+			Remaining: float64(b),
+			RateCap:   e.Machine.StreamRate(src, dst) * penalty,
+			Demands:   demands,
+			OnAdvance: func(p float64) {
+				e.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
+			},
+		})
+	}
+	// Phase B: hash-table accesses.
+	accesses := float64(to-from) * accessesPerRow
+	demands, rateCap, _ := e.HW.RandomDemands(src, htWeights, w.CoreRes,
+		cyclesPerRow, 0, r.spec.HTMissRate)
+	if !w.Bound {
+		rateCap *= e.Costs.UnboundStreamPenalty
+	}
+	miss := r.spec.HTMissRate
+	htFlow := &sim.Flow{
+		Remaining: accesses,
+		RateCap:   rateCap,
+		Demands:   demands,
+		OnAdvance: func(p float64) {
+			b := p * 64 * miss
+			for dst, frac := range htWeights {
+				if frac > 0 {
+					e.Counters.AddMemoryTraffic(src, dst, b*frac, 0, 0)
+				}
+			}
+			e.Counters.AddCompute(src, p*cyclesPerRow, 0)
+		},
+	}
+	phases = append(phases, htFlow)
+	for i := 0; i < len(phases)-1; i++ {
+		next := phases[i+1]
+		phases[i].OnDone = func() { e.Sim.StartFlow(next) }
+	}
+	phases[len(phases)-1].OnDone = onDone
+	e.Sim.StartFlow(phases[0])
+}
+
+// probePhase runs after the build barrier.
+func (r *run) probePhase() {
+	r.phase(r.spec.Probe, r.spec.ProbeCyclesPerRow, maxf(r.spec.HitsPerProbeRow, 1), r.complete)
+}
+
+func (r *run) complete() {
+	e := r.e
+	e.Placer.Alloc.Free(r.htRange)
+	lat := e.Sim.Now() - r.issued
+	e.Counters.AddLatency(lat)
+	if r.spec.OnDone != nil {
+		r.spec.OnDone(lat)
+	}
+}
+
+// partitionSocket resolves the majority socket of a row range.
+func partitionSocket(col *colstore.Column, from, to int) int {
+	offFrom := col.IVOffsetForRow(from)
+	bytes := col.IVBytesForRows(from, to)
+	if offFrom+bytes > col.IVRange.Bytes {
+		bytes = col.IVRange.Bytes - offFrom
+	}
+	per := col.IVPSM.SocketBytes(col.IVRange, offFrom, bytes)
+	best, bestB := -1, int64(0)
+	for s, b := range per {
+		if b > bestB {
+			best, bestB = s, b
+		}
+	}
+	return best
+}
+
+func affinityFor(strategy core.Strategy, socket int) (int, bool) {
+	if socket < 0 {
+		return -1, false
+	}
+	switch strategy {
+	case core.OSched:
+		return -1, false
+	case core.Target:
+		return socket, false
+	default:
+		return socket, true
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders a spec for logs.
+func (s Spec) String() string {
+	return fmt.Sprintf("join(%s ⋈ %s, HT on %v, %s)", s.Build.Name, s.Probe.Name, s.HTSockets, s.Strategy)
+}

@@ -1,0 +1,211 @@
+// Package metrics collects the performance counters the paper reports from
+// Linux, SAP HANA, and Intel PCM: per-socket memory throughput, QPI data and
+// total traffic, local/remote LLC load misses, IPC, CPU load, task counts,
+// stolen tasks, and query latencies. The simulator has perfect knowledge, so
+// these counters are exact rather than sampled.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Counters accumulates all performance metrics of a run.
+type Counters struct {
+	Sockets int
+
+	// Memory bytes served by each socket's memory controller.
+	MCBytes []float64
+	// Memory bytes read by cores of each socket, split by locality.
+	LocalBytes  []float64
+	RemoteBytes []float64
+
+	// Interconnect traffic in bytes: data payload vs everything (payload +
+	// protocol/coherence overhead), per the Fig. 8 "QPI traffic" vs "QPI
+	// data traffic" distinction.
+	LinkDataBytes  float64
+	LinkTotalBytes float64
+
+	// LLC load-miss proxy: cache lines fetched from DRAM, by locality.
+	LLCLocal  float64
+	LLCRemote float64
+
+	// Compute: instructions retired (work-proportional proxy) and busy
+	// cycles, per socket.
+	Instructions []float64
+	BusyCycles   []float64
+
+	// Scheduler counters.
+	TasksExecuted uint64
+	TasksStolen   uint64 // inter-socket steals
+	QueriesDone   uint64
+	// WorkerBusySeconds sums, over all worker threads, the time spent
+	// executing tasks; CPU load is this over window x hardware contexts.
+	WorkerBusySeconds float64
+
+	latencies []float64
+}
+
+// New creates counters for a machine with the given socket count.
+func New(sockets int) *Counters {
+	return &Counters{
+		Sockets:      sockets,
+		MCBytes:      make([]float64, sockets),
+		LocalBytes:   make([]float64, sockets),
+		RemoteBytes:  make([]float64, sockets),
+		Instructions: make([]float64, sockets),
+		BusyCycles:   make([]float64, sockets),
+	}
+}
+
+// AddMemoryTraffic records bytes read by a core on srcSocket from memory on
+// dstSocket, with the link bytes (data payload and total including
+// coherence) the access generated.
+func (c *Counters) AddMemoryTraffic(srcSocket, dstSocket int, bytes, linkData, linkTotal float64) {
+	c.MCBytes[dstSocket] += bytes
+	lines := bytes / 64
+	if srcSocket == dstSocket {
+		c.LocalBytes[srcSocket] += bytes
+		c.LLCLocal += lines
+	} else {
+		c.RemoteBytes[srcSocket] += bytes
+		c.LLCRemote += lines
+	}
+	c.LinkDataBytes += linkData
+	c.LinkTotalBytes += linkTotal
+}
+
+// AddCompute records instructions and busy cycles on a socket.
+func (c *Counters) AddCompute(socket int, instructions, cycles float64) {
+	c.Instructions[socket] += instructions
+	c.BusyCycles[socket] += cycles
+}
+
+// AddLatency records a completed query latency in seconds.
+func (c *Counters) AddLatency(seconds float64) {
+	c.latencies = append(c.latencies, seconds)
+	c.QueriesDone++
+}
+
+// Reset zeroes every counter (used at the end of warmup).
+func (c *Counters) Reset() {
+	for i := 0; i < c.Sockets; i++ {
+		c.MCBytes[i] = 0
+		c.LocalBytes[i] = 0
+		c.RemoteBytes[i] = 0
+		c.Instructions[i] = 0
+		c.BusyCycles[i] = 0
+	}
+	c.LinkDataBytes = 0
+	c.LinkTotalBytes = 0
+	c.LLCLocal = 0
+	c.LLCRemote = 0
+	c.TasksExecuted = 0
+	c.TasksStolen = 0
+	c.QueriesDone = 0
+	c.WorkerBusySeconds = 0
+	c.latencies = c.latencies[:0]
+}
+
+// TotalMCBytes sums memory bytes served across sockets.
+func (c *Counters) TotalMCBytes() float64 {
+	t := 0.0
+	for _, b := range c.MCBytes {
+		t += b
+	}
+	return t
+}
+
+// IPC returns the machine-wide instructions-per-cycle proxy.
+func (c *Counters) IPC() float64 {
+	ins, cyc := 0.0, 0.0
+	for i := 0; i < c.Sockets; i++ {
+		ins += c.Instructions[i]
+		cyc += c.BusyCycles[i]
+	}
+	if cyc == 0 {
+		return 0
+	}
+	return ins / cyc
+}
+
+// LatencyStats summarizes the latency distribution.
+type LatencyStats struct {
+	N                        int
+	Mean, Min, Max           float64
+	P5, P25, P50, P75, P95   float64
+	StdDev, CoeffOfVariation float64
+}
+
+// Latencies computes distribution statistics over recorded latencies.
+func (c *Counters) Latencies() LatencyStats {
+	n := len(c.latencies)
+	if n == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, c.latencies)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		idx := p / 100 * float64(n-1)
+		lo := int(idx)
+		if lo >= n-1 {
+			return sorted[n-1]
+		}
+		frac := idx - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(n)
+	ss := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n))
+	cv := 0.0
+	if mean > 0 {
+		cv = sd / mean
+	}
+	return LatencyStats{
+		N: n, Mean: mean, Min: sorted[0], Max: sorted[n-1],
+		P5: pct(5), P25: pct(25), P50: pct(50), P75: pct(75), P95: pct(95),
+		StdDev: sd, CoeffOfVariation: cv,
+	}
+}
+
+// ThroughputQPM converts the completed-query count over a measurement window
+// (seconds) into queries per minute.
+func (c *Counters) ThroughputQPM(window float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.QueriesDone) / window * 60
+}
+
+// MemoryThroughputGiBs returns per-socket memory throughput in GiB/s over a
+// window in seconds.
+func (c *Counters) MemoryThroughputGiBs(window float64) []float64 {
+	out := make([]float64, c.Sockets)
+	for i, b := range c.MCBytes {
+		out[i] = b / window / (1 << 30)
+	}
+	return out
+}
+
+// CPULoad returns machine-wide CPU utilization in [0,1]: worker busy time
+// over window x hardware contexts.
+func (c *Counters) CPULoad(window float64, totalThreads int) float64 {
+	avail := window * float64(totalThreads)
+	if avail == 0 {
+		return 0
+	}
+	load := c.WorkerBusySeconds / avail
+	if load > 1 {
+		load = 1
+	}
+	return load
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemoryTrafficAccounting(t *testing.T) {
+	c := New(4)
+	c.AddMemoryTraffic(0, 0, 6400, 0, 0)       // local
+	c.AddMemoryTraffic(1, 0, 1280, 1280, 1728) // remote to socket 0
+	if c.MCBytes[0] != 7680 {
+		t.Fatalf("MCBytes[0] = %v", c.MCBytes[0])
+	}
+	if c.LocalBytes[0] != 6400 || c.RemoteBytes[1] != 1280 {
+		t.Fatalf("locality split wrong: %v %v", c.LocalBytes, c.RemoteBytes)
+	}
+	if c.LLCLocal != 100 || c.LLCRemote != 20 {
+		t.Fatalf("LLC lines = %v local, %v remote", c.LLCLocal, c.LLCRemote)
+	}
+	if c.LinkDataBytes != 1280 || c.LinkTotalBytes != 1728 {
+		t.Fatalf("link traffic = %v / %v", c.LinkDataBytes, c.LinkTotalBytes)
+	}
+	if c.TotalMCBytes() != 7680 {
+		t.Fatalf("TotalMCBytes = %v", c.TotalMCBytes())
+	}
+}
+
+func TestIPC(t *testing.T) {
+	c := New(2)
+	c.AddCompute(0, 100, 50)
+	c.AddCompute(1, 100, 150)
+	if got := c.IPC(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("IPC = %v, want 1.0", got)
+	}
+	if New(1).IPC() != 0 {
+		t.Fatal("IPC of empty counters should be 0")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	c := New(1)
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		c.AddLatency(v)
+	}
+	s := c.Latencies()
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Mean-5.5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.P50-5.5) > 1e-9 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P5 >= s.P25 || s.P25 >= s.P75 || s.P75 >= s.P95 {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	if s.CoeffOfVariation <= 0 {
+		t.Fatalf("cv = %v", s.CoeffOfVariation)
+	}
+}
+
+func TestLatencyStatsEmpty(t *testing.T) {
+	s := New(1).Latencies()
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestThroughputAndLoad(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 100; i++ {
+		c.AddLatency(0.01)
+	}
+	if got := c.ThroughputQPM(60); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("qpm = %v", got)
+	}
+	if got := c.ThroughputQPM(0); got != 0 {
+		t.Fatalf("qpm at zero window = %v", got)
+	}
+	c.WorkerBusySeconds = 30
+	if got := c.CPULoad(10, 6); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("load = %v", got)
+	}
+	c.WorkerBusySeconds = 1000
+	if got := c.CPULoad(10, 6); got != 1 {
+		t.Fatalf("load should clamp to 1, got %v", got)
+	}
+}
+
+func TestMemoryThroughputGiBs(t *testing.T) {
+	c := New(2)
+	c.AddMemoryTraffic(0, 1, float64(2)*(1<<30), 0, 0)
+	tp := c.MemoryThroughputGiBs(2)
+	if math.Abs(tp[1]-1.0) > 1e-9 || tp[0] != 0 {
+		t.Fatalf("mem TP = %v", tp)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(2)
+	c.AddMemoryTraffic(0, 1, 100, 10, 20)
+	c.AddCompute(0, 5, 5)
+	c.AddLatency(1)
+	c.TasksExecuted = 3
+	c.TasksStolen = 1
+	c.WorkerBusySeconds = 9
+	c.Reset()
+	if c.TotalMCBytes() != 0 || c.LLCRemote != 0 || c.QueriesDone != 0 ||
+		c.TasksExecuted != 0 || c.TasksStolen != 0 || c.WorkerBusySeconds != 0 ||
+		c.Latencies().N != 0 || c.LinkTotalBytes != 0 {
+		t.Fatalf("reset incomplete: %+v", c)
+	}
+}

@@ -1,0 +1,180 @@
+package placement
+
+import (
+	"testing"
+
+	"numacs/internal/colstore"
+	"numacs/internal/memsim"
+	"numacs/internal/topology"
+)
+
+func testColumn(rows int, mod int64, seed uint32, withIndex bool) *colstore.Column {
+	vals := make([]int64, rows)
+	s := seed
+	for i := range vals {
+		s = s*1664525 + 1013904223
+		vals[i] = int64(s) % mod
+	}
+	return colstore.Build("c", vals, withIndex)
+}
+
+func testTable(rows, cols int) *colstore.Table {
+	columns := make([]*colstore.Column, cols)
+	for j := range columns {
+		columns[j] = testColumn(rows, int64(64+j), uint32(j+1), false)
+	}
+	for j := range columns {
+		columns[j].Name = "COL" + string(rune('0'+j))
+	}
+	return colstore.NewTable("t", columns)
+}
+
+func TestPlaceColumnOnSocket(t *testing.T) {
+	p := New(topology.FourSocketIvyBridge())
+	c := testColumn(50000, 1000, 1, true)
+	p.PlaceColumnOnSocket(c, 2)
+	if got := c.IVPSM.MajoritySocket(); got != 2 {
+		t.Fatalf("IV on socket %d", got)
+	}
+	if got := c.DictPSM.MajoritySocket(); got != 2 {
+		t.Fatalf("dict on socket %d", got)
+	}
+	if got := c.IXPSM.MajoritySocket(); got != 2 {
+		t.Fatalf("IX on socket %d", got)
+	}
+	if c.NumPartitions() != 1 {
+		t.Fatal("RR column should be unpartitioned")
+	}
+}
+
+func TestPlaceRRRoundRobin(t *testing.T) {
+	p := New(topology.FourSocketIvyBridge())
+	tbl := testTable(20000, 8)
+	p.PlaceRR(tbl)
+	for i, c := range tbl.Parts[0].Columns {
+		if got := c.IVPSM.MajoritySocket(); got != i%4 {
+			t.Fatalf("column %d on socket %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+func TestPlaceIVPPartitionsIV(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	p := New(m)
+	c := testColumn(200000, 100000, 3, true)
+	p.PlaceIVP(c, []int{0, 1, 2, 3})
+	if c.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d", c.NumPartitions())
+	}
+	// Each quarter of the IV should live on its socket.
+	for i := 0; i < 4; i++ {
+		from, to := c.PartitionBounds(i)
+		mid := (from + to) / 2
+		addr := c.IVRange.Start + memsim.Addr(c.IVOffsetForRow(mid))
+		if got := c.IVPSM.LocationOf(addr); got != i {
+			t.Fatalf("partition %d row %d resolves to socket %d", i, mid, got)
+		}
+	}
+	// Dictionary and IX interleaved: pages spread across all sockets.
+	dictSum := c.DictPSM.Summary()
+	nonzero := 0
+	for _, pages := range dictSum {
+		if pages > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("dictionary not interleaved across 4 sockets: %v", dictSum)
+	}
+}
+
+func TestPlaceIVPSubsetOfSockets(t *testing.T) {
+	p := New(topology.FourSocketIvyBridge())
+	c := testColumn(100000, 50000, 5, false)
+	p.PlaceIVP(c, []int{1, 3})
+	if c.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d", c.NumPartitions())
+	}
+	from, to := c.PartitionBounds(0)
+	addr := c.IVRange.Start + memsim.Addr(c.IVOffsetForRow((from+to)/2))
+	if got := c.IVPSM.LocationOf(addr); got != 1 {
+		t.Fatalf("first part on %d, want 1", got)
+	}
+}
+
+func TestPlaceTableIVPSpreadsStartSockets(t *testing.T) {
+	p := New(topology.FourSocketIvyBridge())
+	tbl := testTable(40000, 4)
+	p.PlaceTableIVP(tbl, 2)
+	// Column i's first partition should be on socket i%4.
+	for i, c := range tbl.Parts[0].Columns {
+		from, to := c.PartitionBounds(0)
+		addr := c.IVRange.Start + memsim.Addr(c.IVOffsetForRow((from+to)/2))
+		if got := c.IVPSM.LocationOf(addr); got != i%4 {
+			t.Fatalf("column %d first part on socket %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+func TestPlacePP(t *testing.T) {
+	p := New(topology.FourSocketIvyBridge())
+	tbl := testTable(40000, 2)
+	pp := p.PlacePP(tbl, 4)
+	if pp.NumParts() != 4 {
+		t.Fatalf("parts = %d", pp.NumParts())
+	}
+	for i, part := range pp.Parts {
+		if part.HomeSocket != i%4 {
+			t.Fatalf("part %d home = %d", i, part.HomeSocket)
+		}
+		for _, c := range part.Columns {
+			if got := c.IVPSM.MajoritySocket(); got != part.HomeSocket {
+				t.Fatalf("part %d column IV on %d", i, got)
+			}
+			if got := c.DictPSM.MajoritySocket(); got != part.HomeSocket {
+				t.Fatalf("part %d dict on %d (PP keeps dictionaries local)", i, got)
+			}
+		}
+	}
+}
+
+func TestRepartitionIVPMovesOnlyDelta(t *testing.T) {
+	p := New(topology.FourSocketIvyBridge())
+	c := testColumn(200000, 100000, 7, false)
+	p.PlaceIVP(c, []int{0, 1})
+	moved := p.RepartitionIVP(c, []int{0, 1, 2, 3})
+	if moved <= 0 {
+		t.Fatal("repartition should move pages")
+	}
+	// Repartitioning to the same layout moves nothing further for the IV,
+	// but the dictionary interleave is already in place too.
+	again := p.RepartitionIVP(c, []int{0, 1, 2, 3})
+	if again != 0 {
+		t.Fatalf("idempotent repartition moved %d pages", again)
+	}
+}
+
+func TestIVPCostMuchCheaperThanPP(t *testing.T) {
+	tbl := testTable(100000, 8)
+	ivp, pp := IVPCost(tbl), PPCost(tbl)
+	if ivp <= 0 || pp <= 0 {
+		t.Fatalf("costs: ivp=%v pp=%v", ivp, pp)
+	}
+	// Section 6.2.3: PP ~18 min vs IVP ~4 min, i.e. roughly 4-5x slower.
+	if ratio := pp / ivp; ratio < 2 {
+		t.Fatalf("PP/IVP cost ratio = %.2f, expected PP to be much slower", ratio)
+	}
+}
+
+func TestPPMemoryOverhead(t *testing.T) {
+	// Low-cardinality data: PP duplicates dictionary entries across parts.
+	cols := []*colstore.Column{testColumn(100000, 5000, 9, false)}
+	cols[0].Name = "COLX"
+	tbl := colstore.NewTable("t", cols)
+	base := tbl.TotalBytes()
+	p := New(topology.FourSocketIvyBridge())
+	pp := p.PlacePP(tbl, 4)
+	if pp.TotalBytes() <= base {
+		t.Fatalf("PP should consume more memory: %d vs %d", pp.TotalBytes(), base)
+	}
+}

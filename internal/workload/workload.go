@@ -1,0 +1,182 @@
+// Package workload generates the paper's dataset and drives closed-loop
+// clients against the execution engine. The paper's dataset is a table of
+// 100 M rows and 160 integer columns whose bitcases cycle through 17..26;
+// the generator reproduces that structure at a configurable scale (the
+// simulation preserves relative intensities, so shapes survive scaling —
+// see DESIGN.md). Clients continuously execute a prepared range predicate
+// SELECT COLx FROM TBL WHERE COLx >= ? AND COLx <= ? on a column chosen
+// uniformly or with the 80/20 skew of Section 6.2, with no think time.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+)
+
+// DatasetConfig describes the synthetic table.
+type DatasetConfig struct {
+	Rows    int
+	Columns int
+	// BitcaseMin/Max cycle round-robin across columns (paper: 17..26; the
+	// scaled default uses 12..21 so dictionaries stay proportionate).
+	BitcaseMin, BitcaseMax uint
+	WithIndex              bool
+	Seed                   int64
+	// Synthetic skips generating and encoding actual values: columns get
+	// correctly-sized (but zeroed) structures. The simulation harness uses
+	// this — it costs the experiments nothing because match counts are
+	// analytic — while examples and tests build real data.
+	Synthetic bool
+}
+
+// DefaultDataset is the scaled default used by the benchmark harness on
+// 4-socket machines.
+func DefaultDataset() DatasetConfig {
+	return DatasetConfig{
+		Rows:       100_000,
+		Columns:    64,
+		BitcaseMin: 12,
+		BitcaseMax: 21,
+		WithIndex:  false,
+		Seed:       1,
+	}
+}
+
+// ExpectedDistinct returns the expected number of distinct values when
+// drawing n uniform values from a domain of size d.
+func ExpectedDistinct(n int, d int) int { return colstore.ExpectedDistinct(n, int64(d)) }
+
+// Generate builds the dataset table.
+func Generate(cfg DatasetConfig) *colstore.Table {
+	if cfg.Rows <= 0 || cfg.Columns <= 0 {
+		panic("workload: dataset needs positive rows and columns")
+	}
+	if cfg.BitcaseMin < 1 || cfg.BitcaseMax < cfg.BitcaseMin || cfg.BitcaseMax > 31 {
+		panic("workload: bad bitcase range")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := int(cfg.BitcaseMax - cfg.BitcaseMin + 1)
+	cols := make([]*colstore.Column, cfg.Columns)
+	for j := 0; j < cfg.Columns; j++ {
+		bc := cfg.BitcaseMin + uint(j%span)
+		name := fmt.Sprintf("COL%03d", j)
+		if cfg.Synthetic {
+			cols[j] = syntheticColumn(name, cfg.Rows, bc, cfg.WithIndex)
+			continue
+		}
+		domain := int64(1) << bc
+		vals := make([]int64, cfg.Rows)
+		for i := range vals {
+			vals[i] = rng.Int63n(domain)
+		}
+		cols[j] = colstore.Build(name, vals, cfg.WithIndex)
+		cols[j].Domain = domain
+	}
+	return colstore.NewTable("TBL", cols)
+}
+
+// syntheticColumn builds a column with realistic sizes but no data.
+func syntheticColumn(name string, rows int, bc uint, withIndex bool) *colstore.Column {
+	return colstore.NewSynthetic(name, rows, 1<<bc, withIndex)
+}
+
+// Chooser picks the column a client queries.
+type Chooser interface {
+	Pick(rng *rand.Rand, columns int) int
+}
+
+// UniformChoice picks any column with equal probability (Section 6.1).
+type UniformChoice struct{}
+
+// Pick implements Chooser.
+func (UniformChoice) Pick(rng *rand.Rand, columns int) int { return rng.Intn(columns) }
+
+// SkewedChoice implements the Section 6.2 skew: HotProb probability of
+// choosing from the hot half of the columns. The paper gives clients an 80%
+// probability of picking one of the last 80 of 160 columns.
+type SkewedChoice struct {
+	HotProb float64 // probability of the hot half (0.8 in the paper)
+}
+
+// Pick implements Chooser.
+func (s SkewedChoice) Pick(rng *rand.Rand, columns int) int {
+	half := columns / 2
+	if rng.Float64() < s.HotProb {
+		return half + rng.Intn(columns-half) // hot: second half
+	}
+	return rng.Intn(half) // cold: first half
+}
+
+// ClientsConfig configures the closed-loop client population.
+type ClientsConfig struct {
+	N           int
+	Selectivity float64
+	UseIndex    bool
+	Parallel    bool
+	Strategy    core.Strategy
+	Chooser     Chooser
+	Seed        int64
+}
+
+// Clients drives N closed-loop clients: each client issues a query and, on
+// completion, immediately issues the next (no think time, no result fetch —
+// exactly the paper's harness).
+type Clients struct {
+	cfg     ClientsConfig
+	engine  *core.Engine
+	table   *colstore.Table
+	columns []string
+	rng     *rand.Rand
+	stopped bool
+
+	// Issued counts queries submitted; the metrics package counts
+	// completions.
+	Issued uint64
+}
+
+// NewClients creates the client population over the given (placed) table.
+func NewClients(e *core.Engine, table *colstore.Table, cfg ClientsConfig) *Clients {
+	if cfg.Chooser == nil {
+		cfg.Chooser = UniformChoice{}
+	}
+	c := &Clients{
+		cfg:     cfg,
+		engine:  e,
+		table:   table,
+		columns: table.ColumnNames(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return c
+}
+
+// Start admits all clients (the paper makes sure all clients are admitted
+// before measuring).
+func (c *Clients) Start() {
+	for i := 0; i < c.cfg.N; i++ {
+		c.issue(i)
+	}
+}
+
+// Stop prevents clients from issuing further queries.
+func (c *Clients) Stop() { c.stopped = true }
+
+func (c *Clients) issue(client int) {
+	if c.stopped {
+		return
+	}
+	c.Issued++
+	col := c.columns[c.cfg.Chooser.Pick(c.rng, len(c.columns))]
+	c.engine.Submit(&core.Query{
+		Table:       c.table,
+		Column:      col,
+		Selectivity: c.cfg.Selectivity,
+		UseIndex:    c.cfg.UseIndex,
+		Parallel:    c.cfg.Parallel,
+		Strategy:    c.cfg.Strategy,
+		HomeSocket:  client % c.engine.Machine.Sockets,
+		OnDone:      func(float64) { c.issue(client) },
+	})
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"numacs/internal/core"
+	"numacs/internal/topology"
+)
+
+func TestGenerateRealDataset(t *testing.T) {
+	cfg := DatasetConfig{Rows: 5000, Columns: 10, BitcaseMin: 8, BitcaseMax: 12, Seed: 1}
+	tbl := Generate(cfg)
+	if tbl.Rows != 5000 || len(tbl.Parts[0].Columns) != 10 {
+		t.Fatalf("shape: rows=%d cols=%d", tbl.Rows, len(tbl.Parts[0].Columns))
+	}
+	// Bitcases cycle; dictionary-minimal bitcase never exceeds the domain's.
+	for j, c := range tbl.Parts[0].Columns {
+		want := cfg.BitcaseMin + uint(j%5)
+		if c.Bitcase > want {
+			t.Fatalf("column %d bitcase %d exceeds domain bitcase %d", j, c.Bitcase, want)
+		}
+		if c.Rows != 5000 {
+			t.Fatalf("column %d rows = %d", j, c.Rows)
+		}
+		// Values in domain.
+		for r := 0; r < 100; r++ {
+			if v := c.Value(r); v < 0 || v >= 1<<want {
+				t.Fatalf("column %d value %d out of domain", j, v)
+			}
+		}
+	}
+}
+
+func TestGenerateSyntheticMatchesRealSizes(t *testing.T) {
+	real := Generate(DatasetConfig{Rows: 20000, Columns: 4, BitcaseMin: 10, BitcaseMax: 13, Seed: 1})
+	synth := Generate(DatasetConfig{Rows: 20000, Columns: 4, BitcaseMin: 10, BitcaseMax: 13, Seed: 1, Synthetic: true})
+	for j := range real.Parts[0].Columns {
+		r, s := real.Parts[0].Columns[j], synth.Parts[0].Columns[j]
+		if s.Bitcase != r.Bitcase {
+			t.Errorf("column %d: synthetic bitcase %d, real %d", j, s.Bitcase, r.Bitcase)
+		}
+		// Dictionary sizes should agree within a few percent (expected vs
+		// realized distinct count).
+		rd, sd := float64(r.NumDistinct()), float64(s.NumDistinct())
+		if sd < rd*0.95 || sd > rd*1.05 {
+			t.Errorf("column %d: synthetic distinct %v, real %v", j, sd, rd)
+		}
+		if !s.Synthetic {
+			t.Error("synthetic flag not set")
+		}
+	}
+}
+
+func TestGenerateWithIndex(t *testing.T) {
+	tbl := Generate(DatasetConfig{Rows: 2000, Columns: 2, BitcaseMin: 8, BitcaseMax: 8, Seed: 2, WithIndex: true})
+	for _, c := range tbl.Parts[0].Columns {
+		if c.Idx == nil {
+			t.Fatal("index missing")
+		}
+	}
+}
+
+func TestExpectedDistinct(t *testing.T) {
+	if got := ExpectedDistinct(1000, 10); got != 10 {
+		t.Fatalf("large n small domain: %d", got)
+	}
+	if got := ExpectedDistinct(10, 1<<30); got != 10 {
+		t.Fatalf("huge domain: %d", got)
+	}
+	if got := ExpectedDistinct(100, 0); got != 1 {
+		t.Fatalf("degenerate domain: %d", got)
+	}
+	mid := ExpectedDistinct(1000, 1000)
+	if mid <= 500 || mid >= 1000 {
+		t.Fatalf("n==d should land around 632, got %d", mid)
+	}
+}
+
+func TestUniformChoiceCoversColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		c := (UniformChoice{}).Pick(rng, 8)
+		if c < 0 || c >= 8 {
+			t.Fatalf("pick out of range: %d", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("uniform chooser covered %d of 8 columns", len(seen))
+	}
+}
+
+func TestSkewedChoiceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ch := SkewedChoice{HotProb: 0.8}
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if ch.Pick(rng, 16) >= 8 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("hot fraction = %.3f, want ~0.8", frac)
+	}
+}
+
+func TestClientsClosedLoop(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	e := core.New(m, 1)
+	tbl := Generate(DatasetConfig{Rows: 30000, Columns: 8, BitcaseMin: 10, BitcaseMax: 14, Seed: 1, Synthetic: true})
+	e.Placer.PlaceRR(tbl)
+	c := NewClients(e, tbl, ClientsConfig{
+		N: 16, Selectivity: 0.001, Parallel: true, Strategy: core.Bound, Seed: 3,
+	})
+	c.Start()
+	if c.Issued != 16 {
+		t.Fatalf("issued %d, want 16 on start", c.Issued)
+	}
+	e.Sim.Run(0.05)
+	if e.Counters.QueriesDone == 0 {
+		t.Fatal("no queries completed")
+	}
+	// Closed loop: completions trigger re-issues.
+	if c.Issued <= 16 {
+		t.Fatalf("closed loop did not re-issue: issued=%d done=%d", c.Issued, e.Counters.QueriesDone)
+	}
+	// In-flight = issued - done = N (every client always has one query out).
+	if int(c.Issued)-int(e.Counters.QueriesDone) != 16 {
+		t.Fatalf("in-flight = %d, want 16", int(c.Issued)-int(e.Counters.QueriesDone))
+	}
+	c.Stop()
+	done := e.Counters.QueriesDone
+	issued := c.Issued
+	e.Sim.Run(0.1)
+	if c.Issued != issued {
+		t.Fatal("Stop did not stop issuing")
+	}
+	_ = done
+}
