@@ -1,0 +1,3 @@
+module numacs
+
+go 1.22

@@ -50,6 +50,9 @@ func imbalance(mc []float64) float64 {
 }
 
 func TestPlacerBalancesSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
 	static, _ := skewedSetup(t, false)
 	static.Sim.Run(0.15)
 	staticRatio := imbalance(static.Counters.MCBytes)
@@ -75,6 +78,9 @@ func TestPlacerBalancesSkew(t *testing.T) {
 }
 
 func TestPlacerImprovesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
 	static, _ := skewedSetup(t, false)
 	static.Sim.Run(0.2)
 	static.Counters.Reset()
@@ -93,6 +99,9 @@ func TestPlacerImprovesThroughput(t *testing.T) {
 }
 
 func TestPlacerIdleOnBalancedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
 	m := topology.FourSocketIvyBridge()
 	e := core.New(m, 1)
 	tbl := workload.Generate(workload.DatasetConfig{
@@ -116,6 +125,9 @@ func TestPlacerIdleOnBalancedWorkload(t *testing.T) {
 }
 
 func TestShrinkColdPartitionedColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
 	m := topology.FourSocketIvyBridge()
 	e := core.New(m, 1)
 	tbl := workload.Generate(workload.DatasetConfig{
@@ -187,6 +199,9 @@ func (oneColumn) Pick(rng *rand.Rand, columns int) int { return columns - 1 }
 // hottest item dominates its socket: moving it would only move the hotspot,
 // so the placer must increase its partition count instead.
 func TestPlacerPartitionsDominatingItem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
 	m := topology.FourSocketIvyBridge()
 	e := core.New(m, 1)
 	tbl := workload.Generate(workload.DatasetConfig{

@@ -18,6 +18,7 @@ import (
 
 	"numacs/internal/colstore"
 	"numacs/internal/core"
+	"numacs/internal/exec"
 	"numacs/internal/workload"
 )
 
@@ -153,22 +154,28 @@ func (c *Clients) Start() {
 // Stop prevents further queries.
 func (c *Clients) Stop() { c.stopped = true }
 
+// issue composes one aggregation statement directly on the operator-pipeline
+// layer: a find-phase scan feeding an aggregation over its qualifying
+// regions (the same two operators a core.Query with Aggregate set builds).
 func (c *Clients) issue(client int) {
 	if c.stopped {
 		return
 	}
 	c.Issued++
 	t := c.Tables[c.rng.Intn(len(c.Tables))]
-	c.Engine.Submit(&core.Query{
-		Table:           t,
-		Column:          c.Column(t),
-		Selectivity:     c.Selectivity,
+	scan := &exec.ScanOp{
+		Table:       t,
+		Column:      c.Column(t),
+		Selectivity: c.Selectivity,
+		Parallel:    true,
+	}
+	agg := &exec.AggregateOp{
+		Source:          scan,
+		BytesPerRow:     c.BytesPerRow,
+		CyclesPerRow:    c.CyclesPerRow,
 		Parallel:        true,
-		Strategy:        c.Strategy,
-		HomeSocket:      client % c.Engine.Machine.Sockets,
-		Aggregate:       true,
-		AggBytesPerRow:  c.BytesPerRow,
-		AggCyclesPerRow: c.CyclesPerRow,
-		OnDone:          func(float64) { c.issue(client) },
-	})
+		DisableCoalesce: c.Engine.DisableCoalesce,
+	}
+	c.Engine.SubmitPipeline(c.Strategy, client%c.Engine.Machine.Sockets,
+		func(float64) { c.issue(client) }, scan, agg)
 }

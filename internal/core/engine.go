@@ -2,119 +2,47 @@
 // together: it schedules concurrent column scans over placed data (Section
 // 5.2), applying one of the three task scheduling strategies (OS, Target,
 // Bound) and consulting the Page Socket Mappings of the selected column to
-// derive task affinities. Queries are executed as state machines driven by
-// task completions on the simulated machine.
+// derive task affinities. Statements execute as operator pipelines on the
+// internal/exec layer: a query is a scan operator composed with a
+// materialization or aggregation operator, driven by task completions on the
+// simulated machine; arbitrary compositions (scan -> join -> aggregate) run
+// through the same SubmitPipeline entry point.
 package core
 
 import (
-	"fmt"
-	"math"
 	"math/rand"
 
-	"numacs/internal/colstore"
+	"numacs/internal/exec"
 	"numacs/internal/hw"
 	"numacs/internal/metrics"
 	"numacs/internal/placement"
-	"numacs/internal/psm"
 	"numacs/internal/sched"
 	"numacs/internal/sim"
 	"numacs/internal/topology"
+
+	"numacs/internal/colstore"
 )
 
 // Strategy is a task scheduling strategy (Section 6's OS/Target/Bound).
-type Strategy int
+type Strategy = exec.Strategy
 
 const (
 	// OSched leaves scheduling to the operating system: no task affinities,
 	// no binding; the OS balances (and migrates) threads.
-	OSched Strategy = iota
+	OSched = exec.OSched
 	// Target assigns task affinities; tasks may still be stolen by other
 	// sockets.
-	Target
+	Target = exec.Target
 	// Bound assigns task affinities and sets the hard-affinity flag:
 	// inter-socket stealing is prevented.
-	Bound
+	Bound = exec.Bound
 )
 
-func (s Strategy) String() string {
-	switch s {
-	case OSched:
-		return "OS"
-	case Target:
-		return "Target"
-	case Bound:
-		return "Bound"
-	default:
-		return fmt.Sprintf("strategy(%d)", int(s))
-	}
-}
-
-// Costs holds the calibrated cost-model constants. Defaults are tuned so the
-// simulated machines reproduce Table 1 and the headline ratios of the paper
-// (see the calibration tests and EXPERIMENTS.md).
-type Costs struct {
-	// ScanCyclesPerByte is the compute cost of the SIMD scan kernel.
-	ScanCyclesPerByte float64
-	// ScanInstrPerByte feeds the IPC proxy.
-	ScanInstrPerByte float64
-	// MatCyclesPerAccess is the per-qualifying-row compute cost of
-	// materialization (IV probe + dictionary decode + output write).
-	MatCyclesPerAccess float64
-	// MatInstrPerAccess feeds the IPC proxy.
-	MatInstrPerAccess float64
-	// IdxCyclesPerAccess is the per-position compute cost of index lookups.
-	IdxCyclesPerAccess float64
-	// OutBytesPerMatch is the output-vector bytes written per qualifying row.
-	OutBytesPerMatch float64
-	// QueryOverheadSeconds is the fixed per-query session/parse/plan cost,
-	// modelled as compute on the client's home socket.
-	QueryOverheadSeconds float64
-	// UnboundStreamPenalty scales the per-thread streaming and random-access
-	// rate of tasks executed by unbound workers (the OS strategy): it models
-	// the combined cost of OS thread migration, prefetcher restarts, and
-	// cross-socket queueing that a NUMA-agnostic system suffers. This is the
-	// one deliberately calibrated constant, set to reproduce the ~5x gap of
-	// Figures 1 and 8; the ablation benchmark quantifies its influence.
-	UnboundStreamPenalty float64
-	// IndexSelectivityThreshold is the optimizer's cutoff: predicates at or
-	// below this selectivity use index lookups when an index exists
-	// (Section 6.1.5 observes the switch between 0.1% and 1%).
-	IndexSelectivityThreshold float64
-	// IndexAccessesPerMatch is the pointer-chasing cost of index lookups in
-	// dependent cache-line accesses per qualifying position.
-	IndexAccessesPerMatch float64
-	// MatMissRate is the fraction of materialization dictionary probes that
-	// miss the last-level cache and reach DRAM; dictionaries largely fit in
-	// the L3, which keeps materialization CPU-intensive (Section 6.1.5).
-	MatMissRate float64
-	// BitvectorSelectivity is the threshold above which the find phase emits
-	// its qualifying matches as a bitvector (one bit per row) instead of a
-	// position list (4 bytes per match) — the two result formats of Section
-	// 5.2 ("for high selectivities, a bitvector format is preferred").
-	BitvectorSelectivity float64
-	// IdxMissRate is the same for index pointer chasing (postings are
-	// colder than dictionaries).
-	IdxMissRate float64
-}
+// Costs holds the calibrated cost-model constants.
+type Costs = exec.Costs
 
 // DefaultCosts returns the calibrated defaults.
-func DefaultCosts() Costs {
-	return Costs{
-		ScanCyclesPerByte:         0.5,
-		ScanInstrPerByte:          1.0,
-		MatCyclesPerAccess:        15,
-		MatInstrPerAccess:         60,
-		IdxCyclesPerAccess:        20,
-		OutBytesPerMatch:          colstore.ValueSize + 4, // value + position
-		QueryOverheadSeconds:      30e-6,
-		UnboundStreamPenalty:      0.15,
-		IndexSelectivityThreshold: 0.001,
-		IndexAccessesPerMatch:     1.2,
-		MatMissRate:               0.1,
-		IdxMissRate:               0.6,
-		BitvectorSelectivity:      0.02,
-	}
-}
+func DefaultCosts() Costs { return exec.DefaultCosts() }
 
 // ItemTraffic accumulates per-data-item memory traffic, used by the adaptive
 // data placer to find hot items (Section 7).
@@ -143,6 +71,7 @@ type Engine struct {
 	// regions before issuing tasks (ablation only).
 	DisableCoalesce bool
 
+	env              *exec.Env
 	rng              *rand.Rand
 	activeStatements int
 	itemTraffic      map[string]*ItemTraffic
@@ -165,7 +94,7 @@ func NewWithStep(m *topology.Machine, seed int64, step float64) *Engine {
 	counters := metrics.New(m.Sockets)
 	scheduler := sched.New(h, counters)
 	simEngine.AddActor(scheduler)
-	return &Engine{
+	e := &Engine{
 		Machine:                m,
 		Sim:                    simEngine,
 		HW:                     h,
@@ -177,7 +106,23 @@ func NewWithStep(m *topology.Machine, seed int64, step float64) *Engine {
 		rng:                    rand.New(rand.NewSource(seed)),
 		itemTraffic:            make(map[string]*ItemTraffic),
 	}
+	e.env = &exec.Env{
+		Machine:         m,
+		Sim:             simEngine,
+		HW:              h,
+		Sched:           scheduler,
+		Counters:        counters,
+		Costs:           &e.Costs,
+		Rand:            e.rng,
+		ConcurrencyHint: e.ConcurrencyHint,
+		AddItemTraffic:  e.addItemTraffic,
+	}
+	return e
 }
+
+// ExecEnv returns the engine's operator-pipeline environment, for composing
+// raw exec pipelines outside the statement entry points.
+func (e *Engine) ExecEnv() *exec.Env { return e.env }
 
 // ActiveStatements returns the number of in-flight queries.
 func (e *Engine) ActiveStatements() int { return e.activeStatements }
@@ -246,35 +191,62 @@ type Query struct {
 	Aggregate       bool
 	AggBytesPerRow  float64
 	AggCyclesPerRow float64
-
-	issuedAt float64
 }
 
-// queryRun tracks one executing query.
-type queryRun struct {
-	q       *Query
-	e       *Engine
-	pending int // outstanding tasks in the current phase
-
-	// Per "region" match counts collected by the find phase. For IVP the
-	// regions are IV partitions; for PP they are physical parts.
-	regions []regionResult
-}
-
-// regionResult is the per-partition output of the find phase, the input to
-// materialization preprocessing (Section 5.2).
-type regionResult struct {
-	col     *colstore.Column
-	part    *colstore.Part
-	socket  int // socket of this IV partition/part
-	matches int
-}
-
-// Submit starts executing a query; completion is reported via q.OnDone.
+// Submit starts executing a query as a two-operator pipeline (find phase,
+// then materialization or aggregation); completion is reported via q.OnDone.
 func (e *Engine) Submit(q *Query) {
-	q.issuedAt = e.Sim.Now()
+	scan := &exec.ScanOp{
+		Table:                 q.Table,
+		Column:                q.Column,
+		Selectivity:           q.Selectivity,
+		ExtraPredicateColumns: q.ExtraPredicateColumns,
+		UseIndex:              q.UseIndex,
+		Parallel:              q.Parallel,
+	}
+	var second exec.Operator
+	if q.Aggregate {
+		second = &exec.AggregateOp{
+			Source:          scan,
+			BytesPerRow:     q.AggBytesPerRow,
+			CyclesPerRow:    q.AggCyclesPerRow,
+			ProjectColumns:  q.ProjectColumns,
+			Parallel:        q.Parallel,
+			DisableCoalesce: e.DisableCoalesce,
+		}
+	} else {
+		second = &exec.MaterializeOp{
+			Scan:            scan,
+			ProjectColumns:  q.ProjectColumns,
+			Parallel:        q.Parallel,
+			DisableCoalesce: e.DisableCoalesce,
+		}
+	}
+	e.SubmitPipeline(q.Strategy, q.HomeSocket, q.OnDone, scan, second)
+}
+
+// SubmitPipeline executes composed operators as one SQL statement: the fixed
+// per-query overhead runs first on the client's connection thread, the
+// statement counts toward the concurrency hint while in flight, and every
+// operator task carries the statement timestamp as its priority. The
+// completion latency (including the overhead) is recorded and reported via
+// onDone.
+func (e *Engine) SubmitPipeline(strategy Strategy, homeSocket int, onDone func(latency float64), ops ...exec.Operator) {
+	issued := e.Sim.Now()
 	e.activeStatements++
-	r := &queryRun{q: q, e: e}
+	p := &exec.Pipeline{
+		Env:        e.env,
+		Strategy:   strategy,
+		HomeSocket: homeSocket,
+		IssuedAt:   issued,
+		Ops:        ops,
+		OnDone: func(lat float64) {
+			e.activeStatements--
+			if onDone != nil {
+				onDone(lat)
+			}
+		},
+	}
 	// Phase 0: fixed per-query overhead (parse/plan/session). It runs on the
 	// client's connection thread — a receiver thread outside the worker pool
 	// — so it adds latency without occupying a worker (units are seconds;
@@ -282,580 +254,8 @@ func (e *Engine) Submit(q *Query) {
 	e.Sim.StartFlow(&sim.Flow{
 		Remaining: e.Costs.QueryOverheadSeconds,
 		RateCap:   1,
-		OnDone:    func() { r.findPhase() },
+		OnDone:    p.Start,
 	})
-}
-
-// affinityFor applies the scheduling strategy to a natural data socket.
-func affinityFor(strategy Strategy, socket int) (affinity int, hard bool) {
-	if socket < 0 {
-		return -1, false
-	}
-	switch strategy {
-	case OSched:
-		return -1, false
-	case Target:
-		return socket, false
-	default:
-		return socket, true
-	}
-}
-
-// jitterMatches derives a deterministic approximate match count for a row
-// range: the analytic expectation of the uniform data generator with a small
-// per-task jitter, standing in for actually running the scan kernel (the
-// kernels themselves are implemented and tested in package colstore; the
-// harness uses the analytic count so experiments over hundreds of thousands
-// of queries stay tractable).
-func (r *queryRun) jitterMatches(rows int) int {
-	exp := r.q.Selectivity * float64(rows)
-	f := 0.95 + 0.1*r.e.rng.Float64()
-	m := int(exp*f + 0.5)
-	if m > rows {
-		m = rows
-	}
-	return m
-}
-
-// findPhase issues the tasks that find qualifying matches: parallel scan
-// tasks over the IV (rounded to partition multiples), or a single index
-// lookup per part (Section 5.2).
-func (r *queryRun) findPhase() {
-	e := r.e
-	q := r.q
-	useIndex := false
-	if q.UseIndex && q.Selectivity <= e.Costs.IndexSelectivityThreshold {
-		if c := q.Table.Parts[0].ColumnByName(q.Column); c != nil && c.Idx != nil {
-			useIndex = true
-		}
-	}
-
-	// Build the region list and the task list first, then submit. Only the
-	// primary predicate column tracks regions (the materialization input);
-	// additional predicate columns run the same find phase in parallel and
-	// merely intersect the result (Section 6's multi-predicate discussion).
-	type scanTask struct {
-		col       *colstore.Column
-		rowFrom   int
-		rowTo     int
-		region    int // -1 for extra predicate columns
-		indexTask bool
-		// allCols, when set, makes this a single unparallelized task that
-		// scans every physical part sequentially — with parallelism
-		// disabled, one task must access the remote sockets of the other
-		// parts itself (the Figure 10 effect).
-		allCols []*colstore.Column
-	}
-	var tasks []scanTask
-	plan := func(colName string, trackRegions bool) {
-		if !q.Parallel && !useIndex && q.Table.NumParts() > 1 {
-			cols := make([]*colstore.Column, 0, q.Table.NumParts())
-			rows := 0
-			for _, part := range q.Table.Parts {
-				c := part.ColumnByName(colName)
-				if c == nil {
-					panic(fmt.Sprintf("core: no column %s", colName))
-				}
-				cols = append(cols, c)
-				rows += c.Rows
-			}
-			region := -1
-			if trackRegions {
-				region = len(r.regions)
-				r.regions = append(r.regions, regionResult{
-					col: cols[0], part: q.Table.Parts[0], socket: cols[0].IVPSM.MajoritySocket(),
-				})
-			}
-			tasks = append(tasks, scanTask{col: cols[0], rowFrom: 0, rowTo: rows, region: region, allCols: cols})
-			return
-		}
-		for _, part := range q.Table.Parts {
-			col := part.ColumnByName(colName)
-			if col == nil {
-				panic(fmt.Sprintf("core: no column %s", colName))
-			}
-			if useIndex {
-				region := -1
-				if trackRegions {
-					region = len(r.regions)
-					r.regions = append(r.regions, regionResult{col: col, part: part, socket: ixSocket(col)})
-				}
-				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region, indexTask: true})
-				continue
-			}
-			nparts := col.NumPartitions()
-			if !q.Parallel {
-				// Single task spanning everything; region socket is the IV
-				// majority socket.
-				region := -1
-				if trackRegions {
-					region = len(r.regions)
-					r.regions = append(r.regions, regionResult{col: col, part: part, socket: col.IVPSM.MajoritySocket()})
-				}
-				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region})
-				continue
-			}
-			// Tasks per part: the concurrency hint rounded up to a multiple
-			// of the IVP partitions so each task's range lies wholly in one
-			// partition.
-			hint := e.ConcurrencyHint()
-			if q.Table.NumParts() > 1 {
-				hint = hint / q.Table.NumParts()
-				if hint < 1 {
-					hint = 1
-				}
-			}
-			if col.Replicated() {
-				// A replicated column behaves like a partitioned one for
-				// scheduling: the row space is sliced across replicas and
-				// each slice scans its own replica locally.
-				reps := col.ReplicaSockets
-				per := (hint + len(reps) - 1) / len(reps)
-				for ri, sock := range reps {
-					pf := col.Rows * ri / len(reps)
-					pt := col.Rows * (ri + 1) / len(reps)
-					region := -1
-					if trackRegions {
-						region = len(r.regions)
-						r.regions = append(r.regions, regionResult{col: col, part: part, socket: sock})
-					}
-					n := per
-					if n > pt-pf {
-						n = pt - pf
-					}
-					for ti := 0; ti < n; ti++ {
-						f := pf + (pt-pf)*ti/n
-						t := pf + (pt-pf)*(ti+1)/n
-						tasks = append(tasks, scanTask{col: col, rowFrom: f, rowTo: t, region: region})
-					}
-				}
-				continue
-			}
-			perPartition := (hint + nparts - 1) / nparts
-			for pi := 0; pi < nparts; pi++ {
-				pf, pt := col.PartitionBounds(pi)
-				region := -1
-				if trackRegions {
-					region = len(r.regions)
-					r.regions = append(r.regions, regionResult{col: col, part: part, socket: ivSocketForRows(col, pf, pt)})
-				}
-				rows := pt - pf
-				n := perPartition
-				if n > rows {
-					n = rows
-				}
-				for ti := 0; ti < n; ti++ {
-					f := pf + rows*ti/n
-					t := pf + rows*(ti+1)/n
-					tasks = append(tasks, scanTask{col: col, rowFrom: f, rowTo: t, region: region})
-				}
-			}
-		}
-	}
-	plan(q.Column, true)
-	for _, extra := range q.ExtraPredicateColumns {
-		plan(extra, false)
-	}
-
-	r.pending = len(tasks)
-	for _, st := range tasks {
-		st := st
-		m := r.jitterMatches(st.rowTo - st.rowFrom)
-		if st.region >= 0 {
-			r.regions[st.region].matches += m
-		}
-		var socket int
-		if st.region >= 0 {
-			socket = r.regions[st.region].socket
-		} else if st.indexTask {
-			socket = ixSocket(st.col)
-		} else {
-			socket = ivSocketForRows(st.col, st.rowFrom, st.rowTo)
-		}
-		affinity, hard := affinityFor(q.Strategy, socket)
-		run := func(w *sched.Worker, done func()) {
-			r.runScan(w, st.col, st.rowFrom, st.rowTo, m, func() { done(); r.findTaskDone() })
-		}
-		if st.allCols != nil {
-			run = func(w *sched.Worker, done func()) {
-				r.runScanAll(w, st.allCols, m, func() { done(); r.findTaskDone() })
-			}
-		}
-		if st.indexTask {
-			run = func(w *sched.Worker, done func()) {
-				r.runIndexLookup(w, st.col, m, func() { done(); r.findTaskDone() })
-			}
-		}
-		e.Sched.Submit(&sched.Task{
-			Priority: q.issuedAt, Affinity: affinity, Hard: hard, CallerSocket: q.HomeSocket,
-			Run: run,
-		})
-	}
-}
-
-// findTaskDone is the barrier of the find phase.
-func (r *queryRun) findTaskDone() {
-	r.pending--
-	if r.pending == 0 {
-		r.materializePhase()
-	}
-}
-
-// runScanAll executes one unparallelized scan across every physical part:
-// the single worker streams each part's IV in turn, reaching remote sockets
-// for the parts that are not local (Figure 10's "single task has to access
-// remotely the sockets of the remaining partitions").
-func (r *queryRun) runScanAll(w *sched.Worker, cols []*colstore.Column, matches int, onDone func()) {
-	remaining := len(cols)
-	oneDone := func() {
-		remaining--
-		if remaining == 0 {
-			onDone()
-		}
-	}
-	// Sequential execution: chain per-part scans.
-	var start func(i int)
-	start = func(i int) {
-		if i >= len(cols) {
-			return
-		}
-		m := 0
-		if i == len(cols)-1 {
-			m = matches // output writes attributed once
-		}
-		r.runScan(w, cols[i], 0, cols[i].Rows, m, func() {
-			oneDone()
-			start(i + 1)
-		})
-	}
-	start(0)
-}
-
-// runScan executes one scan task: stream the IV bytes of rows [from,to)
-// from wherever they physically live, plus the (small) match output write.
-func (r *queryRun) runScan(w *sched.Worker, col *colstore.Column, from, to, matches int, onDone func()) {
-	e := r.e
-	offFrom := col.IVOffsetForRow(from)
-	offTo := offFrom + col.IVBytesForRows(from, to)
-	if offTo > col.IVRange.Bytes {
-		offTo = col.IVRange.Bytes
-	}
-	var perSocket []int64
-	if col.Replicated() {
-		// Stream from the nearest replica instead of the primary copy.
-		rep := col.NearestReplica(w.Socket(), e.Machine.Latency)
-		perSocket = make([]int64, rep+1)
-		perSocket[rep] = offTo - offFrom
-	} else {
-		perSocket = col.IVPSM.SocketBytes(col.IVRange, offFrom, offTo-offFrom)
-	}
-	src := w.Socket()
-	penalty := 1.0
-	if !w.Bound {
-		penalty = e.Costs.UnboundStreamPenalty
-	}
-	// Sequential flows, one per distinct source socket of the range.
-	// The match output uses the Section 5.2 result formats: a position list
-	// (4 bytes per match) at low selectivity, a bitvector (one bit per
-	// scanned row) at high selectivity — whichever is smaller at the
-	// configured threshold.
-	var phases []*sim.Flow
-	outBytes := float64(matches) * 4
-	if r.q.Selectivity >= e.Costs.BitvectorSelectivity {
-		outBytes = float64(to-from) / 8
-	}
-	outPerByte := outBytes / float64(offTo-offFrom+1)
-	for dst, bytes := range perSocket {
-		if bytes == 0 {
-			continue
-		}
-		dst := dst
-		demands, lt := e.HW.StreamDemands(src, dst, w.CoreRes, e.Costs.ScanCyclesPerByte)
-		if outPerByte > 0 {
-			demands = append(demands, sim.Demand{Resource: e.HW.MC[src], Weight: outPerByte})
-		}
-		fl := &sim.Flow{
-			Remaining: float64(bytes),
-			RateCap:   e.Machine.StreamRate(src, dst) * penalty,
-			Demands:   demands,
-			OnAdvance: func(p float64) {
-				e.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
-				e.Counters.AddCompute(src, p*e.Costs.ScanInstrPerByte, 0)
-				e.addItemTraffic(col.Name, p, p, 0)
-			},
-		}
-		phases = append(phases, fl)
-	}
-	runPhases(e.Sim, phases, onDone)
-}
-
-// runIndexLookup executes one (unparallelized) index-lookup task: dependent
-// random accesses into the IX.
-func (r *queryRun) runIndexLookup(w *sched.Worker, col *colstore.Column, matches int, onDone func()) {
-	e := r.e
-	src := w.Socket()
-	accesses := float64(matches)*e.Costs.IndexAccessesPerMatch + 16
-	dstWeights := componentWeights(e.Machine.Sockets, col.IXPSM)
-	demands, rateCap, lt := e.HW.RandomDemands(src, dstWeights, w.CoreRes,
-		e.Costs.IdxCyclesPerAccess, 4, e.Costs.IdxMissRate)
-	if !w.Bound {
-		rateCap *= e.Costs.UnboundStreamPenalty
-	}
-	miss := e.Costs.IdxMissRate
-	e.Sim.StartFlow(&sim.Flow{
-		Remaining: accesses,
-		RateCap:   rateCap,
-		Demands:   demands,
-		OnAdvance: func(p float64) {
-			bytes := p * topology.CacheLine * miss
-			e.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
-			e.Counters.AddCompute(src, p*e.Costs.MatInstrPerAccess/2, 0)
-			e.addItemTraffic(col.Name, bytes, 0, bytes)
-		},
-		OnDone: onDone,
-	})
-}
-
-// addSpreadTraffic attributes DRAM bytes across the destination sockets of a
-// random-access flow (interleaved structures spread over all sockets).
-func (e *Engine) addSpreadTraffic(src int, dstWeights []float64, bytes, linkData, linkTotal float64) {
-	first := true
-	for dst, frac := range dstWeights {
-		if frac == 0 {
-			continue
-		}
-		ld, t := 0.0, 0.0
-		if first {
-			// Attribute link traffic once (it is already aggregated).
-			ld, t = linkData, linkTotal
-			first = false
-		}
-		e.Counters.AddMemoryTraffic(src, dst, bytes*frac, ld, t)
-	}
-}
-
-// materializePhase implements the output-materialization scheduling of
-// Section 5.2: the output vector is divided into one fixed region per
-// hardware context; region boundaries are resolved to the socket of the IV
-// pages that produce them (via the PSM); contiguous same-socket regions are
-// coalesced; and each coalesced partition receives a correspondingly
-// weighted number of tasks, at least one, within the concurrency hint.
-func (r *queryRun) materializePhase() {
-	e := r.e
-	q := r.q
-	// Conjunctive extra predicates intersect the qualifying set: scale every
-	// region's matches by selectivity once per extra predicate column.
-	if k := len(q.ExtraPredicateColumns); k > 0 {
-		factor := math.Pow(q.Selectivity, float64(k))
-		for i := range r.regions {
-			r.regions[i].matches = int(float64(r.regions[i].matches)*factor + 0.5)
-		}
-	}
-	total := 0
-	for _, reg := range r.regions {
-		total += reg.matches
-	}
-	if total == 0 {
-		r.complete()
-		return
-	}
-
-	// Fixed-size output regions mapped to producing IV sockets.
-	nRegions := e.Machine.TotalThreads()
-	if !q.Parallel {
-		nRegions = 1
-	}
-	type coalesced struct {
-		col     *colstore.Column
-		part    *colstore.Part
-		socket  int
-		matches int
-		weight  int
-	}
-	var parts []coalesced
-	ri := 0 // region cursor into r.regions
-	consumed := 0
-	for i := 0; i < nRegions; i++ {
-		lo := total * i / nRegions
-		hi := total * (i + 1) / nRegions
-		m := hi - lo
-		if m == 0 {
-			continue
-		}
-		// Advance the producing region cursor.
-		for ri < len(r.regions)-1 && consumed+r.regions[ri].matches <= lo {
-			consumed += r.regions[ri].matches
-			ri++
-		}
-		reg := &r.regions[ri]
-		if n := len(parts); !e.DisableCoalesce && n > 0 &&
-			parts[n-1].socket == reg.socket && parts[n-1].col == reg.col {
-			parts[n-1].matches += m
-			parts[n-1].weight++
-		} else {
-			parts = append(parts, coalesced{col: reg.col, part: reg.part, socket: reg.socket, matches: m, weight: 1})
-		}
-	}
-
-	// Distribute tasks: proportional to weight, at least one per partition,
-	// not surpassing the concurrency hint.
-	hint := e.ConcurrencyHint()
-	if !q.Parallel {
-		hint = 1
-	}
-	if hint < len(parts) {
-		hint = len(parts)
-	}
-	totalWeight := 0
-	for _, p := range parts {
-		totalWeight += p.weight
-	}
-	type matTask struct {
-		col     *colstore.Column
-		socket  int
-		matches int
-	}
-	var matTasks []matTask
-	for _, p := range parts {
-		// Materialization targets: the predicate column plus every projected
-		// column of the same part; the phase is repeated per projected
-		// column in parallel (Section 6).
-		targets := []*colstore.Column{p.col}
-		for _, name := range q.ProjectColumns {
-			if p.part == nil {
-				continue
-			}
-			if pc := p.part.ColumnByName(name); pc != nil {
-				targets = append(targets, pc)
-			}
-		}
-		n := hint * p.weight / totalWeight
-		if n < 1 {
-			n = 1
-		}
-		if n > p.matches {
-			n = p.matches
-		}
-		for _, target := range targets {
-			for t := 0; t < n; t++ {
-				f := p.matches * t / n
-				tt := p.matches * (t + 1) / n
-				if tt == f {
-					continue
-				}
-				matTasks = append(matTasks, matTask{target, p.socket, tt - f})
-			}
-		}
-	}
-
-	r.pending = len(matTasks)
-	if r.pending == 0 {
-		r.complete()
-		return
-	}
-	for _, mt := range matTasks {
-		mt := mt
-		affinity, hard := affinityFor(q.Strategy, mt.socket)
-		run := func(w *sched.Worker, done func()) {
-			r.runMaterialize(w, mt.col, mt.matches, func() { done(); r.matTaskDone() })
-		}
-		if q.Aggregate {
-			run = func(w *sched.Worker, done func()) {
-				r.runAggregate(w, mt.col, mt.socket, mt.matches, func() { done(); r.matTaskDone() })
-			}
-		}
-		e.Sched.Submit(&sched.Task{
-			Priority: q.issuedAt, Affinity: affinity, Hard: hard, CallerSocket: q.HomeSocket,
-			Run: run,
-		})
-	}
-}
-
-// runAggregate executes one aggregation task: stream the qualifying rows'
-// payload columns from the socket holding this region's data and burn the
-// per-row aggregation compute.
-func (r *queryRun) runAggregate(w *sched.Worker, col *colstore.Column, dataSocket int, m int, onDone func()) {
-	e := r.e
-	q := r.q
-	src := w.Socket()
-	dst := dataSocket
-	if dst < 0 {
-		dst = src
-	}
-	bytes := float64(m) * q.AggBytesPerRow
-	cpb := 0.0
-	if q.AggBytesPerRow > 0 {
-		cpb = q.AggCyclesPerRow / q.AggBytesPerRow
-	}
-	demands, lt := e.HW.StreamDemands(src, dst, w.CoreRes, cpb)
-	penalty := 1.0
-	if !w.Bound {
-		penalty = e.Costs.UnboundStreamPenalty
-	}
-	e.Sim.StartFlow(&sim.Flow{
-		Remaining: bytes,
-		RateCap:   e.Machine.StreamRate(src, dst) * penalty,
-		Demands:   demands,
-		OnAdvance: func(p float64) {
-			e.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
-			e.Counters.AddCompute(src, p*cpb*0.8, 0)
-			e.addItemTraffic(col.Name, p, p, 0)
-		},
-		OnDone: onDone,
-	})
-}
-
-func (r *queryRun) matTaskDone() {
-	r.pending--
-	if r.pending == 0 {
-		r.complete()
-	}
-}
-
-// runMaterialize executes one materialization task: m dependent random
-// accesses into the dictionary plus output writes on the worker's socket
-// (output vectors reuse virtual memory, so writes land wherever the worker
-// runs — Section 5.2).
-func (r *queryRun) runMaterialize(w *sched.Worker, col *colstore.Column, m int, onDone func()) {
-	e := r.e
-	src := w.Socket()
-	var dstWeights []float64
-	if col.Replicated() {
-		// Probe the nearest dictionary replica.
-		dstWeights = make([]float64, e.Machine.Sockets)
-		dstWeights[col.NearestReplica(src, e.Machine.Latency)] = 1
-	} else {
-		dstWeights = componentWeights(e.Machine.Sockets, col.DictPSM)
-	}
-	demands, rateCap, lt := e.HW.RandomDemands(src, dstWeights, w.CoreRes,
-		e.Costs.MatCyclesPerAccess, e.Costs.OutBytesPerMatch, e.Costs.MatMissRate)
-	if !w.Bound {
-		rateCap *= e.Costs.UnboundStreamPenalty
-	}
-	miss := e.Costs.MatMissRate
-	e.Sim.StartFlow(&sim.Flow{
-		Remaining: float64(m),
-		RateCap:   rateCap,
-		Demands:   demands,
-		OnAdvance: func(p float64) {
-			bytes := p * topology.CacheLine * miss
-			e.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
-			e.Counters.AddCompute(src, p*e.Costs.MatInstrPerAccess, 0)
-			e.addItemTraffic(col.Name, bytes+p*e.Costs.OutBytesPerMatch, 0, bytes)
-		},
-		OnDone: onDone,
-	})
-}
-
-// complete finishes the query.
-func (r *queryRun) complete() {
-	e := r.e
-	e.activeStatements--
-	lat := e.Sim.Now() - r.q.issuedAt
-	e.Counters.AddLatency(lat)
-	if r.q.OnDone != nil {
-		r.q.OnDone(lat)
-	}
 }
 
 // addItemTraffic attributes traffic to a data item for the adaptive placer.
@@ -868,80 +268,4 @@ func (e *Engine) addItemTraffic(item string, bytes, ivBytes, dictBytes float64) 
 	it.Bytes += bytes
 	it.IVBytes += ivBytes
 	it.DictBytes += dictBytes
-}
-
-// runPhases executes flows sequentially, then calls onDone.
-func runPhases(s *sim.Engine, phases []*sim.Flow, onDone func()) {
-	if len(phases) == 0 {
-		onDone()
-		return
-	}
-	for i := 0; i < len(phases)-1; i++ {
-		next := phases[i+1]
-		phases[i].OnDone = func() { s.StartFlow(next) }
-	}
-	phases[len(phases)-1].OnDone = onDone
-	s.StartFlow(phases[0])
-}
-
-// ivSocketForRows returns the socket backing the IV bytes of rows [from,to).
-func ivSocketForRows(col *colstore.Column, from, to int) int {
-	offFrom := col.IVOffsetForRow(from)
-	offTo := offFrom + col.IVBytesForRows(from, to)
-	if offTo > col.IVRange.Bytes {
-		offTo = col.IVRange.Bytes
-	}
-	bytes := col.IVPSM.SocketBytes(col.IVRange, offFrom, offTo-offFrom)
-	best, bestB := -1, int64(0)
-	for s, b := range bytes {
-		if b > bestB {
-			best, bestB = s, b
-		}
-	}
-	return best
-}
-
-// ixSocket returns the IX's socket, or -1 when it is interleaved (no
-// affinity is assigned then, per Section 5.2).
-func ixSocket(col *colstore.Column) int {
-	if col.IXPSM == nil {
-		return -1
-	}
-	sum := col.IXPSM.Summary()
-	nonzero, sock := 0, -1
-	for s, pages := range sum {
-		if pages > 0 {
-			nonzero++
-			sock = s
-		}
-	}
-	if nonzero == 1 {
-		return sock
-	}
-	return -1 // interleaved
-}
-
-// componentWeights converts a component PSM into per-socket access fractions.
-func componentWeights(sockets int, p *psm.PSM) []float64 {
-	out := make([]float64, sockets)
-	if p == nil {
-		out[0] = 1
-		return out
-	}
-	sum := p.Summary()
-	total := 0.0
-	for s, pages := range sum {
-		if s < sockets {
-			out[s] = float64(pages)
-			total += float64(pages)
-		}
-	}
-	if total == 0 {
-		out[0] = 1
-		return out
-	}
-	for s := range out {
-		out[s] /= total
-	}
-	return out
 }

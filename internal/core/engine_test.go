@@ -53,21 +53,6 @@ func TestConcurrencyHint(t *testing.T) {
 	}
 }
 
-func TestAffinityFor(t *testing.T) {
-	if a, h := affinityFor(OSched, 2); a != -1 || h {
-		t.Fatalf("OS: %d %v", a, h)
-	}
-	if a, h := affinityFor(Target, 2); a != 2 || h {
-		t.Fatalf("Target: %d %v", a, h)
-	}
-	if a, h := affinityFor(Bound, 2); a != 2 || !h {
-		t.Fatalf("Bound: %d %v", a, h)
-	}
-	if a, h := affinityFor(Bound, -1); a != -1 || h {
-		t.Fatalf("Bound no-socket: %d %v", a, h)
-	}
-}
-
 func TestSingleQueryCompletes(t *testing.T) {
 	e := New(topology.FourSocketIvyBridge(), 1)
 	tbl := buildPlacedTable(e, 4, 20000, false)

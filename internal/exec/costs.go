@@ -1,0 +1,70 @@
+package exec
+
+import "numacs/internal/colstore"
+
+// Costs holds the calibrated cost-model constants. Defaults are tuned so the
+// simulated machines reproduce Table 1 and the headline ratios of the paper
+// (see the calibration tests and EXPERIMENTS.md).
+type Costs struct {
+	// ScanCyclesPerByte is the compute cost of the SIMD scan kernel.
+	ScanCyclesPerByte float64
+	// ScanInstrPerByte feeds the IPC proxy.
+	ScanInstrPerByte float64
+	// MatCyclesPerAccess is the per-qualifying-row compute cost of
+	// materialization (IV probe + dictionary decode + output write).
+	MatCyclesPerAccess float64
+	// MatInstrPerAccess feeds the IPC proxy.
+	MatInstrPerAccess float64
+	// IdxCyclesPerAccess is the per-position compute cost of index lookups.
+	IdxCyclesPerAccess float64
+	// OutBytesPerMatch is the output-vector bytes written per qualifying row.
+	OutBytesPerMatch float64
+	// QueryOverheadSeconds is the fixed per-query session/parse/plan cost,
+	// modelled as compute on the client's home socket.
+	QueryOverheadSeconds float64
+	// UnboundStreamPenalty scales the per-thread streaming and random-access
+	// rate of tasks executed by unbound workers (the OS strategy): it models
+	// the combined cost of OS thread migration, prefetcher restarts, and
+	// cross-socket queueing that a NUMA-agnostic system suffers. This is the
+	// one deliberately calibrated constant, set to reproduce the ~5x gap of
+	// Figures 1 and 8; the ablation benchmark quantifies its influence.
+	UnboundStreamPenalty float64
+	// IndexSelectivityThreshold is the optimizer's cutoff: predicates at or
+	// below this selectivity use index lookups when an index exists
+	// (Section 6.1.5 observes the switch between 0.1% and 1%).
+	IndexSelectivityThreshold float64
+	// IndexAccessesPerMatch is the pointer-chasing cost of index lookups in
+	// dependent cache-line accesses per qualifying position.
+	IndexAccessesPerMatch float64
+	// MatMissRate is the fraction of materialization dictionary probes that
+	// miss the last-level cache and reach DRAM; dictionaries largely fit in
+	// the L3, which keeps materialization CPU-intensive (Section 6.1.5).
+	MatMissRate float64
+	// BitvectorSelectivity is the threshold above which the find phase emits
+	// its qualifying matches as a bitvector (one bit per row) instead of a
+	// position list (4 bytes per match) — the two result formats of Section
+	// 5.2 ("for high selectivities, a bitvector format is preferred").
+	BitvectorSelectivity float64
+	// IdxMissRate is the same for index pointer chasing (postings are
+	// colder than dictionaries).
+	IdxMissRate float64
+}
+
+// DefaultCosts returns the calibrated defaults.
+func DefaultCosts() Costs {
+	return Costs{
+		ScanCyclesPerByte:         0.5,
+		ScanInstrPerByte:          1.0,
+		MatCyclesPerAccess:        15,
+		MatInstrPerAccess:         60,
+		IdxCyclesPerAccess:        20,
+		OutBytesPerMatch:          colstore.ValueSize + 4, // value + position
+		QueryOverheadSeconds:      30e-6,
+		UnboundStreamPenalty:      0.15,
+		IndexSelectivityThreshold: 0.001,
+		IndexAccessesPerMatch:     1.2,
+		MatMissRate:               0.1,
+		IdxMissRate:               0.6,
+		BitvectorSelectivity:      0.02,
+	}
+}

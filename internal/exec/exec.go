@@ -1,0 +1,375 @@
+// Package exec is the composable operator-pipeline layer that every
+// simulated statement — scans, materialization, aggregation, hash joins —
+// executes on. It factors out the machinery the paper routes through one
+// NUMA-aware task scheduler: deriving per-partition task affinities from the
+// Page Socket Mappings of the operator's inputs (Section 5.2), applying the
+// OS/Target/Bound scheduling strategy (Section 6), fanning a phase out under
+// the concurrency hint [28], and sequencing phases with barriers.
+//
+// An Operator produces the tasks of one pipeline phase; a Pipeline runs its
+// operators in order, scheduling each operator's tasks through the shared
+// scheduler and advancing past a barrier when the phase drains. Operators
+// hand results downstream by direct reference (a MaterializeOp points at the
+// ScanOp whose qualifying regions it consumes), so composed statements like
+// scan -> join-build -> join-probe -> aggregate are ordinary pipelines.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"numacs/internal/colstore"
+	"numacs/internal/hw"
+	"numacs/internal/metrics"
+	"numacs/internal/psm"
+	"numacs/internal/sched"
+	"numacs/internal/sim"
+	"numacs/internal/topology"
+)
+
+// Strategy is a task scheduling strategy (Section 6's OS/Target/Bound).
+type Strategy int
+
+const (
+	// OSched leaves scheduling to the operating system: no task affinities,
+	// no binding; the OS balances (and migrates) threads.
+	OSched Strategy = iota
+	// Target assigns task affinities; tasks may still be stolen by other
+	// sockets.
+	Target
+	// Bound assigns task affinities and sets the hard-affinity flag:
+	// inter-socket stealing is prevented.
+	Bound
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case OSched:
+		return "OS"
+	case Target:
+		return "Target"
+	case Bound:
+		return "Bound"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// AffinityFor applies the scheduling strategy to a natural data socket: the
+// single place task affinity and hardness are derived from a socket for every
+// operator in the system.
+func AffinityFor(strategy Strategy, socket int) (affinity int, hard bool) {
+	if socket < 0 {
+		return -1, false
+	}
+	switch strategy {
+	case OSched:
+		return -1, false
+	case Target:
+		return socket, false
+	default:
+		return socket, true
+	}
+}
+
+// Env bundles what operators need from the engine: the simulated machine and
+// its substrates, the cost model, and the engine hooks (concurrency hint,
+// per-item traffic attribution for the adaptive placer).
+type Env struct {
+	Machine  *topology.Machine
+	Sim      *sim.Engine
+	HW       *hw.Hardware
+	Sched    *sched.Scheduler
+	Counters *metrics.Counters
+	Costs    *Costs
+	// Rand drives the analytic match-count jitter of the scan model.
+	Rand *rand.Rand
+
+	// ConcurrencyHint returns the task-granularity budget for one
+	// partitionable operation [28]. Nil means "all hardware contexts".
+	ConcurrencyHint func() int
+	// AddItemTraffic attributes DRAM traffic to a named data item for the
+	// adaptive data placer (Section 7); nil disables attribution.
+	AddItemTraffic func(item string, bytes, ivBytes, dictBytes float64)
+}
+
+// hint returns the concurrency budget.
+func (env *Env) hint() int {
+	if env.ConcurrencyHint != nil {
+		return env.ConcurrencyHint()
+	}
+	return env.Machine.TotalThreads()
+}
+
+// addItem attributes per-item traffic when the hook is wired.
+func (env *Env) addItem(item string, bytes, ivBytes, dictBytes float64) {
+	if env.AddItemTraffic != nil {
+		env.AddItemTraffic(item, bytes, ivBytes, dictBytes)
+	}
+}
+
+// addSpreadTraffic attributes DRAM bytes across the destination sockets of a
+// random-access flow (interleaved structures spread over all sockets).
+func (env *Env) addSpreadTraffic(src int, dstWeights []float64, bytes, linkData, linkTotal float64) {
+	first := true
+	for dst, frac := range dstWeights {
+		if frac == 0 {
+			continue
+		}
+		ld, t := 0.0, 0.0
+		if first {
+			// Attribute link traffic once (it is already aggregated).
+			ld, t = linkData, linkTotal
+			first = false
+		}
+		env.Counters.AddMemoryTraffic(src, dst, bytes*frac, ld, t)
+	}
+}
+
+// Task is one schedulable unit of operator work. Socket is the natural data
+// socket the task's inputs live on (-1 for none); the pipeline derives the
+// scheduling affinity from it via AffinityFor.
+type Task struct {
+	Socket int
+	// Run starts the task on a worker and must eventually call done.
+	Run func(w *sched.Worker, done func())
+}
+
+// Operator produces the tasks of one pipeline phase.
+type Operator interface {
+	// Open is called when the operator's phase begins — every upstream
+	// operator has passed its barrier — and returns the tasks to schedule.
+	// Returning no tasks completes the phase immediately.
+	Open(p *Pipeline) []Task
+	// Close is called at the phase barrier, after the last task finished and
+	// before the next operator opens.
+	Close(p *Pipeline)
+}
+
+// Pipeline sequences operators with barriers on a simulated machine. All
+// tasks carry the statement's issue timestamp as their priority, so the
+// scheduler completes a statement's tasks close together (Section 5.1).
+type Pipeline struct {
+	Env *Env
+	// Strategy is the statement's scheduling strategy, applied to every
+	// operator task via AffinityFor.
+	Strategy Strategy
+	// HomeSocket is where the issuing client's connection thread runs.
+	HomeSocket int
+	// IssuedAt is the statement timestamp: task priority and the base of the
+	// completion latency.
+	IssuedAt float64
+	// Ops are the operators, executed in order with a barrier between them.
+	Ops []Operator
+	// OnDone fires when the last operator's barrier clears, with the
+	// statement latency in seconds.
+	OnDone func(latency float64)
+
+	pending int
+}
+
+// Start opens the first operator. The pipeline records the statement latency
+// into Env.Counters when the last barrier clears.
+func (p *Pipeline) Start() {
+	p.runPhase(0)
+}
+
+func (p *Pipeline) runPhase(i int) {
+	if i >= len(p.Ops) {
+		p.finish()
+		return
+	}
+	tasks := p.Ops[i].Open(p)
+	if len(tasks) == 0 {
+		p.Ops[i].Close(p)
+		p.runPhase(i + 1)
+		return
+	}
+	p.pending = len(tasks)
+	for _, t := range tasks {
+		t := t
+		affinity, hard := AffinityFor(p.Strategy, t.Socket)
+		p.Env.Sched.Submit(&sched.Task{
+			Priority: p.IssuedAt, Affinity: affinity, Hard: hard, CallerSocket: p.HomeSocket,
+			Run: func(w *sched.Worker, done func()) {
+				t.Run(w, func() { done(); p.taskDone(i) })
+			},
+		})
+	}
+}
+
+// taskDone is the phase barrier.
+func (p *Pipeline) taskDone(i int) {
+	p.pending--
+	if p.pending == 0 {
+		p.Ops[i].Close(p)
+		p.runPhase(i + 1)
+	}
+}
+
+func (p *Pipeline) finish() {
+	lat := p.Env.Sim.Now() - p.IssuedAt
+	p.Env.Counters.AddLatency(lat)
+	if p.OnDone != nil {
+		p.OnDone(lat)
+	}
+}
+
+// Region is the per-partition output of a producing operator: how many
+// qualifying matches a partition holds and the socket its data lives on. It
+// is the input to output-materialization and aggregation scheduling
+// (Section 5.2).
+type Region struct {
+	Col     *colstore.Column
+	Part    *colstore.Part
+	Socket  int
+	Matches int
+}
+
+// RegionSource is an operator that yields qualifying matches downstream
+// operators consume (ScanOp and JoinOp).
+type RegionSource interface {
+	Regions() []Region
+}
+
+// ---- shared partition fan-out and PSM-weight helpers ------------------------
+
+// RowRange is one scheduling partition of a column's row space with the
+// socket its bytes (majority) live on.
+type RowRange struct {
+	From, To, Socket int
+}
+
+// Partitions returns the scheduling partitions of a placed column: one per
+// IVP partition with its majority socket, or one slice per replica for
+// replicated columns (each slice scans its own replica locally).
+func Partitions(col *colstore.Column) []RowRange {
+	if col.Replicated() {
+		reps := col.ReplicaSockets
+		out := make([]RowRange, len(reps))
+		for ri, sock := range reps {
+			out[ri] = RowRange{
+				From:   col.Rows * ri / len(reps),
+				To:     col.Rows * (ri + 1) / len(reps),
+				Socket: sock,
+			}
+		}
+		return out
+	}
+	n := col.NumPartitions()
+	out := make([]RowRange, n)
+	for i := range out {
+		f, t := col.PartitionBounds(i)
+		out[i] = RowRange{From: f, To: t, Socket: IVSocketForRows(col, f, t)}
+	}
+	return out
+}
+
+// TasksPerPartition divides a concurrency budget across partitions, rounding
+// up so every partition gets at least one task.
+func TasksPerPartition(hint, partitions int) int {
+	if partitions < 1 {
+		partitions = 1
+	}
+	n := (hint + partitions - 1) / partitions
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SplitRows slices the row range [from,to) into at most n equal spans (fewer
+// when the range has fewer rows than n).
+func SplitRows(from, to, n int) [][2]int {
+	rows := to - from
+	if n > rows {
+		n = rows
+	}
+	if n < 1 {
+		return nil
+	}
+	out := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		f := from + rows*i/n
+		t := from + rows*(i+1)/n
+		out = append(out, [2]int{f, t})
+	}
+	return out
+}
+
+// IVSocketForRows returns the socket backing the majority of the IV bytes of
+// rows [from,to).
+func IVSocketForRows(col *colstore.Column, from, to int) int {
+	offFrom := col.IVOffsetForRow(from)
+	offTo := offFrom + col.IVBytesForRows(from, to)
+	if offTo > col.IVRange.Bytes {
+		offTo = col.IVRange.Bytes
+	}
+	bytes := col.IVPSM.SocketBytes(col.IVRange, offFrom, offTo-offFrom)
+	best, bestB := -1, int64(0)
+	for s, b := range bytes {
+		if b > bestB {
+			best, bestB = s, b
+		}
+	}
+	return best
+}
+
+// IndexSocket returns the IX's socket, or -1 when it is interleaved (no
+// affinity is assigned then, per Section 5.2).
+func IndexSocket(col *colstore.Column) int {
+	if col.IXPSM == nil {
+		return -1
+	}
+	sum := col.IXPSM.Summary()
+	nonzero, sock := 0, -1
+	for s, pages := range sum {
+		if pages > 0 {
+			nonzero++
+			sock = s
+		}
+	}
+	if nonzero == 1 {
+		return sock
+	}
+	return -1 // interleaved
+}
+
+// ComponentWeights converts a component PSM into per-socket access fractions.
+func ComponentWeights(sockets int, p *psm.PSM) []float64 {
+	out := make([]float64, sockets)
+	if p == nil {
+		out[0] = 1
+		return out
+	}
+	sum := p.Summary()
+	total := 0.0
+	for s, pages := range sum {
+		if s < sockets {
+			out[s] = float64(pages)
+			total += float64(pages)
+		}
+	}
+	if total == 0 {
+		out[0] = 1
+		return out
+	}
+	for s := range out {
+		out[s] /= total
+	}
+	return out
+}
+
+// RunFlows executes flows sequentially on the simulator, then calls onDone.
+func RunFlows(s *sim.Engine, flows []*sim.Flow, onDone func()) {
+	if len(flows) == 0 {
+		onDone()
+		return
+	}
+	for i := 0; i < len(flows)-1; i++ {
+		next := flows[i+1]
+		flows[i].OnDone = func() { s.StartFlow(next) }
+	}
+	flows[len(flows)-1].OnDone = onDone
+	s.StartFlow(flows[0])
+}

@@ -1,0 +1,256 @@
+package exec
+
+import (
+	"numacs/internal/colstore"
+	"numacs/internal/sched"
+	"numacs/internal/sim"
+	"numacs/internal/topology"
+)
+
+// outTask is one planned output task: m qualifying rows of one target column
+// whose producing data lives on socket.
+type outTask struct {
+	col     *colstore.Column
+	socket  int
+	matches int
+}
+
+// planOutput implements the output scheduling of Section 5.2, shared by
+// materialization and aggregation: the output vector is divided into one
+// fixed region per hardware context; region boundaries are resolved to the
+// socket of the pages that produce them (via the PSM); contiguous same-socket
+// regions are coalesced; and each coalesced partition receives a
+// correspondingly weighted number of tasks, at least one, within the
+// concurrency hint.
+func planOutput(env *Env, regions []Region, parallel bool, project []string, disableCoalesce bool) []outTask {
+	total := 0
+	for _, reg := range regions {
+		total += reg.Matches
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// Fixed-size output regions mapped to producing sockets.
+	nRegions := env.Machine.TotalThreads()
+	if !parallel {
+		nRegions = 1
+	}
+	type coalesced struct {
+		col     *colstore.Column
+		part    *colstore.Part
+		socket  int
+		matches int
+		weight  int
+	}
+	var parts []coalesced
+	ri := 0 // region cursor
+	consumed := 0
+	for i := 0; i < nRegions; i++ {
+		lo := total * i / nRegions
+		hi := total * (i + 1) / nRegions
+		m := hi - lo
+		if m == 0 {
+			continue
+		}
+		// Advance the producing region cursor.
+		for ri < len(regions)-1 && consumed+regions[ri].Matches <= lo {
+			consumed += regions[ri].Matches
+			ri++
+		}
+		reg := &regions[ri]
+		if n := len(parts); !disableCoalesce && n > 0 &&
+			parts[n-1].socket == reg.Socket && parts[n-1].col == reg.Col {
+			parts[n-1].matches += m
+			parts[n-1].weight++
+		} else {
+			parts = append(parts, coalesced{col: reg.Col, part: reg.Part, socket: reg.Socket, matches: m, weight: 1})
+		}
+	}
+
+	// Distribute tasks: proportional to weight, at least one per partition,
+	// not surpassing the concurrency hint.
+	hint := env.hint()
+	if !parallel {
+		hint = 1
+	}
+	if hint < len(parts) {
+		hint = len(parts)
+	}
+	totalWeight := 0
+	for _, p := range parts {
+		totalWeight += p.weight
+	}
+	var tasks []outTask
+	for _, p := range parts {
+		// Targets: the producing column plus every projected column of the
+		// same part; the phase is repeated per projected column in parallel
+		// (Section 6).
+		targets := []*colstore.Column{p.col}
+		for _, name := range project {
+			if p.part == nil {
+				continue
+			}
+			if pc := p.part.ColumnByName(name); pc != nil {
+				targets = append(targets, pc)
+			}
+		}
+		n := hint * p.weight / totalWeight
+		if n < 1 {
+			n = 1
+		}
+		if n > p.matches {
+			n = p.matches
+		}
+		for _, target := range targets {
+			for t := 0; t < n; t++ {
+				f := p.matches * t / n
+				tt := p.matches * (t + 1) / n
+				if tt == f {
+					continue
+				}
+				tasks = append(tasks, outTask{target, p.socket, tt - f})
+			}
+		}
+	}
+	return tasks
+}
+
+// MaterializeOp is the output-materialization phase of Section 5.2: dependent
+// random accesses into the dictionary of each qualifying row plus output
+// writes on the executing worker's socket.
+type MaterializeOp struct {
+	// Scan produces the qualifying regions to materialize.
+	Scan RegionSource
+	// ProjectColumns materializes additional columns of the producing part.
+	ProjectColumns []string
+	// Parallel enables intra-operator parallelism.
+	Parallel bool
+	// DisableCoalesce turns off the preprocessing optimization that merges
+	// contiguous same-socket output regions (ablation only).
+	DisableCoalesce bool
+}
+
+// Open plans the materialization tasks from the upstream regions.
+func (m *MaterializeOp) Open(p *Pipeline) []Task {
+	env := p.Env
+	tasks := planOutput(env, m.Scan.Regions(), m.Parallel, m.ProjectColumns, m.DisableCoalesce)
+	out := make([]Task, 0, len(tasks))
+	for _, mt := range tasks {
+		mt := mt
+		out = append(out, Task{Socket: mt.socket, Run: func(w *sched.Worker, done func()) {
+			runMaterialize(env, w, mt.col, mt.matches, done)
+		}})
+	}
+	return out
+}
+
+// Close implements Operator.
+func (m *MaterializeOp) Close(*Pipeline) {}
+
+// runMaterialize executes one materialization task: m dependent random
+// accesses into the dictionary plus output writes on the worker's socket
+// (output vectors reuse virtual memory, so writes land wherever the worker
+// runs — Section 5.2).
+func runMaterialize(env *Env, w *sched.Worker, col *colstore.Column, m int, onDone func()) {
+	src := w.Socket()
+	var dstWeights []float64
+	if col.Replicated() {
+		// Probe the nearest dictionary replica.
+		dstWeights = make([]float64, env.Machine.Sockets)
+		dstWeights[col.NearestReplica(src, env.Machine.Latency)] = 1
+	} else {
+		dstWeights = ComponentWeights(env.Machine.Sockets, col.DictPSM)
+	}
+	demands, rateCap, lt := env.HW.RandomDemands(src, dstWeights, w.CoreRes,
+		env.Costs.MatCyclesPerAccess, env.Costs.OutBytesPerMatch, env.Costs.MatMissRate)
+	if !w.Bound {
+		rateCap *= env.Costs.UnboundStreamPenalty
+	}
+	miss := env.Costs.MatMissRate
+	env.Sim.StartFlow(&sim.Flow{
+		Remaining: float64(m),
+		RateCap:   rateCap,
+		Demands:   demands,
+		OnAdvance: func(p float64) {
+			bytes := p * topology.CacheLine * miss
+			env.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
+			env.Counters.AddCompute(src, p*env.Costs.MatInstrPerAccess, 0)
+			env.addItem(col.Name, bytes+p*env.Costs.OutBytesPerMatch, 0, bytes)
+		},
+		OnDone: onDone,
+	})
+}
+
+// AggregateOp aggregates the qualifying rows instead of materializing them
+// (Section 6.3: aggregations are parallelized like scans and task affinities
+// are defined the same way). Each task streams the qualifying rows' payload
+// columns from the socket holding its region's data and burns the per-row
+// aggregation compute.
+type AggregateOp struct {
+	// Source produces the qualifying regions to aggregate (a ScanOp or a
+	// JoinOp).
+	Source RegionSource
+	// BytesPerRow is the payload streamed from the aggregated columns per
+	// qualifying row (local to the part under PP).
+	BytesPerRow float64
+	// CyclesPerRow is the per-row compute — high for TPC-H Q1's
+	// multiplications, low for BW-EML's simple expressions.
+	CyclesPerRow float64
+	// ProjectColumns repeats the aggregation per projected column. It only
+	// applies to region sources that carry part information (ScanOp); a
+	// JoinOp's probe regions have no part, so projections are not resolved
+	// through joins.
+	ProjectColumns []string
+	// Parallel enables intra-operator parallelism.
+	Parallel bool
+	// DisableCoalesce turns off output-region coalescing (ablation only).
+	DisableCoalesce bool
+}
+
+// Open plans the aggregation tasks from the upstream regions.
+func (a *AggregateOp) Open(p *Pipeline) []Task {
+	env := p.Env
+	tasks := planOutput(env, a.Source.Regions(), a.Parallel, a.ProjectColumns, a.DisableCoalesce)
+	out := make([]Task, 0, len(tasks))
+	for _, at := range tasks {
+		at := at
+		out = append(out, Task{Socket: at.socket, Run: func(w *sched.Worker, done func()) {
+			a.runAggregate(env, w, at.col, at.socket, at.matches, done)
+		}})
+	}
+	return out
+}
+
+// Close implements Operator.
+func (a *AggregateOp) Close(*Pipeline) {}
+
+// runAggregate executes one aggregation task.
+func (a *AggregateOp) runAggregate(env *Env, w *sched.Worker, col *colstore.Column, dataSocket, m int, onDone func()) {
+	src := w.Socket()
+	dst := dataSocket
+	if dst < 0 {
+		dst = src
+	}
+	bytes := float64(m) * a.BytesPerRow
+	cpb := 0.0
+	if a.BytesPerRow > 0 {
+		cpb = a.CyclesPerRow / a.BytesPerRow
+	}
+	demands, lt := env.HW.StreamDemands(src, dst, w.CoreRes, cpb)
+	penalty := 1.0
+	if !w.Bound {
+		penalty = env.Costs.UnboundStreamPenalty
+	}
+	env.Sim.StartFlow(&sim.Flow{
+		Remaining: bytes,
+		RateCap:   env.Machine.StreamRate(src, dst) * penalty,
+		Demands:   demands,
+		OnAdvance: func(p float64) {
+			env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
+			env.Counters.AddCompute(src, p*cpb*0.8, 0)
+			env.addItem(col.Name, p, p, 0)
+		},
+		OnDone: onDone,
+	})
+}

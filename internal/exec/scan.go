@@ -1,0 +1,320 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"numacs/internal/colstore"
+	"numacs/internal/sched"
+	"numacs/internal/sim"
+	"numacs/internal/topology"
+)
+
+// ScanOp is the find phase of Section 5.2: parallel scan tasks over the
+// indexvector (rounded to partition multiples), or a single index lookup per
+// part when the optimizer's selectivity threshold admits one. Its Regions
+// carry the per-partition match counts that materialization, aggregation, or
+// a join build consume downstream.
+type ScanOp struct {
+	Table       *colstore.Table
+	Column      string
+	Selectivity float64
+
+	// ExtraPredicateColumns adds conjunctive range predicates on further
+	// columns: the find phase is repeated, in parallel, for each predicate
+	// column, and the qualifying set is their intersection (the paper
+	// discusses this generalization in Section 6). Each extra predicate uses
+	// the same Selectivity.
+	ExtraPredicateColumns []string
+	// UseIndex permits index lookups when the column has an index and the
+	// optimizer's selectivity threshold admits them.
+	UseIndex bool
+	// Parallel enables intra-operator parallelism.
+	Parallel bool
+
+	regions []Region
+}
+
+// Regions implements RegionSource: the per-partition match counts, with the
+// conjunctive extra-predicate intersection already applied.
+func (s *ScanOp) Regions() []Region { return s.regions }
+
+// jitterMatches derives a deterministic approximate match count for a row
+// range: the analytic expectation of the uniform data generator with a small
+// per-task jitter, standing in for actually running the scan kernel (the
+// kernels themselves are implemented and tested in package colstore; the
+// harness uses the analytic count so experiments over hundreds of thousands
+// of queries stay tractable).
+func (s *ScanOp) jitterMatches(env *Env, rows int) int {
+	exp := s.Selectivity * float64(rows)
+	f := 0.95 + 0.1*env.Rand.Float64()
+	m := int(exp*f + 0.5)
+	if m > rows {
+		m = rows
+	}
+	return m
+}
+
+// scanTask is one planned find-phase task.
+type scanTask struct {
+	col       *colstore.Column
+	rowFrom   int
+	rowTo     int
+	region    int // -1 for extra predicate columns
+	indexTask bool
+	// allCols, when set, makes this a single unparallelized task that scans
+	// every physical part sequentially — with parallelism disabled, one task
+	// must access the remote sockets of the other parts itself (the Figure 10
+	// effect).
+	allCols []*colstore.Column
+}
+
+// Open plans and emits the find tasks. Only the primary predicate column
+// tracks regions (the materialization input); additional predicate columns
+// run the same find phase in parallel and merely intersect the result
+// (Section 6's multi-predicate discussion).
+func (s *ScanOp) Open(p *Pipeline) []Task {
+	env := p.Env
+	s.regions = s.regions[:0] // support operator reuse across pipelines
+	useIndex := false
+	if s.UseIndex && s.Selectivity <= env.Costs.IndexSelectivityThreshold {
+		if c := s.Table.Parts[0].ColumnByName(s.Column); c != nil && c.Idx != nil {
+			useIndex = true
+		}
+	}
+
+	var tasks []scanTask
+	plan := func(colName string, trackRegions bool) {
+		if !s.Parallel && !useIndex && s.Table.NumParts() > 1 {
+			cols := make([]*colstore.Column, 0, s.Table.NumParts())
+			rows := 0
+			for _, part := range s.Table.Parts {
+				c := part.ColumnByName(colName)
+				if c == nil {
+					panic(fmt.Sprintf("exec: no column %s", colName))
+				}
+				cols = append(cols, c)
+				rows += c.Rows
+			}
+			region := -1
+			if trackRegions {
+				region = len(s.regions)
+				s.regions = append(s.regions, Region{
+					Col: cols[0], Part: s.Table.Parts[0], Socket: cols[0].IVPSM.MajoritySocket(),
+				})
+			}
+			tasks = append(tasks, scanTask{col: cols[0], rowFrom: 0, rowTo: rows, region: region, allCols: cols})
+			return
+		}
+		for _, part := range s.Table.Parts {
+			col := part.ColumnByName(colName)
+			if col == nil {
+				panic(fmt.Sprintf("exec: no column %s", colName))
+			}
+			if useIndex {
+				region := -1
+				if trackRegions {
+					region = len(s.regions)
+					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: IndexSocket(col)})
+				}
+				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region, indexTask: true})
+				continue
+			}
+			if !s.Parallel {
+				// Single task spanning everything; region socket is the IV
+				// majority socket.
+				region := -1
+				if trackRegions {
+					region = len(s.regions)
+					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: col.IVPSM.MajoritySocket()})
+				}
+				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region})
+				continue
+			}
+			// Tasks per partition: the concurrency hint rounded up to a
+			// multiple of the scheduling partitions (IVP partitions, or
+			// replicas for a replicated column) so each task's range lies
+			// wholly in one partition.
+			hint := env.hint()
+			if s.Table.NumParts() > 1 {
+				hint = hint / s.Table.NumParts()
+				if hint < 1 {
+					hint = 1
+				}
+			}
+			parts := Partitions(col)
+			per := TasksPerPartition(hint, len(parts))
+			for _, pr := range parts {
+				region := -1
+				if trackRegions {
+					region = len(s.regions)
+					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: pr.Socket})
+				}
+				for _, span := range SplitRows(pr.From, pr.To, per) {
+					tasks = append(tasks, scanTask{col: col, rowFrom: span[0], rowTo: span[1], region: region})
+				}
+			}
+		}
+	}
+	plan(s.Column, true)
+	for _, extra := range s.ExtraPredicateColumns {
+		plan(extra, false)
+	}
+
+	out := make([]Task, 0, len(tasks))
+	for _, st := range tasks {
+		st := st
+		m := s.jitterMatches(env, st.rowTo-st.rowFrom)
+		if st.region >= 0 {
+			s.regions[st.region].Matches += m
+		}
+		var socket int
+		if st.region >= 0 {
+			socket = s.regions[st.region].Socket
+		} else if st.indexTask {
+			socket = IndexSocket(st.col)
+		} else {
+			socket = IVSocketForRows(st.col, st.rowFrom, st.rowTo)
+		}
+		run := func(w *sched.Worker, done func()) {
+			s.runScan(env, w, st.col, st.rowFrom, st.rowTo, m, done)
+		}
+		if st.allCols != nil {
+			run = func(w *sched.Worker, done func()) {
+				s.runScanAll(env, w, st.allCols, m, done)
+			}
+		}
+		if st.indexTask {
+			run = func(w *sched.Worker, done func()) {
+				s.runIndexLookup(env, w, st.col, m, done)
+			}
+		}
+		out = append(out, Task{Socket: socket, Run: run})
+	}
+	return out
+}
+
+// Close applies the conjunctive extra-predicate intersection at the find
+// barrier: every region's matches scale by selectivity once per extra
+// predicate column.
+func (s *ScanOp) Close(*Pipeline) {
+	if k := len(s.ExtraPredicateColumns); k > 0 {
+		factor := math.Pow(s.Selectivity, float64(k))
+		for i := range s.regions {
+			s.regions[i].Matches = int(float64(s.regions[i].Matches)*factor + 0.5)
+		}
+	}
+}
+
+// runScanAll executes one unparallelized scan across every physical part:
+// the single worker streams each part's IV in turn, reaching remote sockets
+// for the parts that are not local (Figure 10's "single task has to access
+// remotely the sockets of the remaining partitions").
+func (s *ScanOp) runScanAll(env *Env, w *sched.Worker, cols []*colstore.Column, matches int, onDone func()) {
+	remaining := len(cols)
+	oneDone := func() {
+		remaining--
+		if remaining == 0 {
+			onDone()
+		}
+	}
+	// Sequential execution: chain per-part scans.
+	var start func(i int)
+	start = func(i int) {
+		if i >= len(cols) {
+			return
+		}
+		m := 0
+		if i == len(cols)-1 {
+			m = matches // output writes attributed once
+		}
+		s.runScan(env, w, cols[i], 0, cols[i].Rows, m, func() {
+			oneDone()
+			start(i + 1)
+		})
+	}
+	start(0)
+}
+
+// runScan executes one scan task: stream the IV bytes of rows [from,to)
+// from wherever they physically live, plus the (small) match output write.
+func (s *ScanOp) runScan(env *Env, w *sched.Worker, col *colstore.Column, from, to, matches int, onDone func()) {
+	offFrom := col.IVOffsetForRow(from)
+	offTo := offFrom + col.IVBytesForRows(from, to)
+	if offTo > col.IVRange.Bytes {
+		offTo = col.IVRange.Bytes
+	}
+	var perSocket []int64
+	if col.Replicated() {
+		// Stream from the nearest replica instead of the primary copy.
+		rep := col.NearestReplica(w.Socket(), env.Machine.Latency)
+		perSocket = make([]int64, rep+1)
+		perSocket[rep] = offTo - offFrom
+	} else {
+		perSocket = col.IVPSM.SocketBytes(col.IVRange, offFrom, offTo-offFrom)
+	}
+	src := w.Socket()
+	penalty := 1.0
+	if !w.Bound {
+		penalty = env.Costs.UnboundStreamPenalty
+	}
+	// Sequential flows, one per distinct source socket of the range.
+	// The match output uses the Section 5.2 result formats: a position list
+	// (4 bytes per match) at low selectivity, a bitvector (one bit per
+	// scanned row) at high selectivity — whichever is smaller at the
+	// configured threshold.
+	var flows []*sim.Flow
+	outBytes := float64(matches) * 4
+	if s.Selectivity >= env.Costs.BitvectorSelectivity {
+		outBytes = float64(to-from) / 8
+	}
+	outPerByte := outBytes / float64(offTo-offFrom+1)
+	for dst, bytes := range perSocket {
+		if bytes == 0 {
+			continue
+		}
+		dst := dst
+		demands, lt := env.HW.StreamDemands(src, dst, w.CoreRes, env.Costs.ScanCyclesPerByte)
+		if outPerByte > 0 {
+			demands = append(demands, sim.Demand{Resource: env.HW.MC[src], Weight: outPerByte})
+		}
+		fl := &sim.Flow{
+			Remaining: float64(bytes),
+			RateCap:   env.Machine.StreamRate(src, dst) * penalty,
+			Demands:   demands,
+			OnAdvance: func(p float64) {
+				env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
+				env.Counters.AddCompute(src, p*env.Costs.ScanInstrPerByte, 0)
+				env.addItem(col.Name, p, p, 0)
+			},
+		}
+		flows = append(flows, fl)
+	}
+	RunFlows(env.Sim, flows, onDone)
+}
+
+// runIndexLookup executes one (unparallelized) index-lookup task: dependent
+// random accesses into the IX.
+func (s *ScanOp) runIndexLookup(env *Env, w *sched.Worker, col *colstore.Column, matches int, onDone func()) {
+	src := w.Socket()
+	accesses := float64(matches)*env.Costs.IndexAccessesPerMatch + 16
+	dstWeights := ComponentWeights(env.Machine.Sockets, col.IXPSM)
+	demands, rateCap, lt := env.HW.RandomDemands(src, dstWeights, w.CoreRes,
+		env.Costs.IdxCyclesPerAccess, 4, env.Costs.IdxMissRate)
+	if !w.Bound {
+		rateCap *= env.Costs.UnboundStreamPenalty
+	}
+	miss := env.Costs.IdxMissRate
+	env.Sim.StartFlow(&sim.Flow{
+		Remaining: accesses,
+		RateCap:   rateCap,
+		Demands:   demands,
+		OnAdvance: func(p float64) {
+			bytes := p * topology.CacheLine * miss
+			env.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
+			env.Counters.AddCompute(src, p*env.Costs.MatInstrPerAccess/2, 0)
+			env.addItem(col.Name, bytes, 0, bytes)
+		},
+		OnDone: onDone,
+	})
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/join"
+)
+
+// runStarJoin exercises the composed scan -> join -> aggregate statement the
+// operator-pipeline layer enables (Section 8 direction): a closed-loop
+// population of star-join statements — dimension predicate scan, hash-table
+// build from the qualifying keys, fact foreign-key probe, measure
+// aggregation — on the 4-socket machine, across the three scheduling
+// strategies and the two hash-table placements. None of the pre-pipeline
+// execution paths (scan state machine, private join fan-out, aggregation
+// clients) could express this statement.
+func runStarJoin(s Scale) *Report {
+	rep := &Report{ID: "starjoin", Title: "Composed star-join statements (scan -> join -> aggregate)",
+		Description: "Closed-loop star-join statements on the 4-socket machine: the dimension predicate scan feeds the hash-table build, the fact FK probes it, and matching measures are aggregated — one scheduled statement per client."}
+
+	dimRows := s.Rows / 4
+	factRows := s.Rows
+	clients := 32
+
+	run := func(htPartitioned bool, st core.Strategy) (float64, []float64) {
+		e := core.NewWithStep(FourSocket.Build(), 1, s.Step)
+		sockets := []int{0, 1, 2, 3}
+		dim := colstore.NewTable("DIM", []*colstore.Column{
+			colstore.NewSynthetic("D_DATE", dimRows, 1<<12, false),
+			colstore.NewSynthetic("D_ID", dimRows, 1<<14, false),
+		})
+		fact := colstore.NewTable("FACT", []*colstore.Column{
+			colstore.NewSynthetic("F_FK", factRows, 1<<14, false),
+		})
+		for _, c := range dim.Parts[0].Columns {
+			e.Placer.PlaceIVP(c, sockets)
+		}
+		e.Placer.PlaceIVP(fact.Parts[0].Columns[0], sockets)
+		ht := []int{0}
+		if htPartitioned {
+			ht = sockets
+		}
+
+		inflight := 0
+		var issue func(client int)
+		issue = func(client int) {
+			if inflight >= clients {
+				return
+			}
+			inflight++
+			join.ExecuteStar(e, join.StarSpec{
+				Dim: dim, DimPredicate: "D_DATE", DimKey: "D_ID",
+				Fact: fact, FactFK: "F_FK",
+				Selectivity:     0.05,
+				HitsPerProbeRow: 1,
+				AggBytesPerRow:  12, AggCyclesPerRow: 24,
+				HTSockets:  ht,
+				Strategy:   st,
+				HomeSocket: client % e.Machine.Sockets,
+				OnDone:     func(float64) { inflight--; issue(client) },
+			})
+		}
+		for i := 0; i < clients; i++ {
+			issue(i)
+		}
+		e.Sim.Run(s.Warmup)
+		e.Counters.Reset()
+		e.Sim.Run(s.Warmup + s.Measure)
+		return e.Counters.ThroughputQPM(s.Measure), e.Counters.MemoryThroughputGiBs(s.Measure)
+	}
+
+	tb := rep.AddTable("", []string{"hash table", "strategy", "TP(stmt/min)", "per-socket memTP (GiB/s)"})
+	for _, htPartitioned := range []bool{false, true} {
+		name := "centralized (one socket)"
+		if htPartitioned {
+			name = "partitioned (all sockets)"
+		}
+		for _, st := range []core.Strategy{core.OSched, core.Target, core.Bound} {
+			tp, mem := run(htPartitioned, st)
+			tb.AddRow(name, st.String(), f0(tp), fmtSockets(mem))
+		}
+	}
+	return rep
+}

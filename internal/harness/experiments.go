@@ -130,6 +130,9 @@ func init() {
 	register(Experiment{ID: "adaptive", Title: "Adaptive data placement (Section 7)",
 		Description: "A skewed workload on RR placement, static vs with the adaptive data placer balancing socket utilization.",
 		Run:         runAdaptive})
+	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
+		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
+		Run:         runStarJoin})
 }
 
 // ---- shared sweep helpers ---------------------------------------------------

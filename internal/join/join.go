@@ -7,9 +7,11 @@
 //
 // The package provides both layers in the same style as the rest of the
 // repository: a real, tested hash-join over dictionary-encoded columns, and
-// a NUMA-aware simulated execution whose build and probe tasks carry socket
-// affinities derived from the data placement — including the placement of
-// the operator-internal hash table.
+// a NUMA-aware simulated execution built on the internal/exec operator
+// pipeline — build and probe phases are exec operators whose task affinities
+// derive from the data placement, including the placement of the
+// operator-internal hash table. ExecuteStar composes a dimension scan, the
+// join, and an aggregation into one scheduled statement.
 package join
 
 import (
@@ -17,9 +19,7 @@ import (
 
 	"numacs/internal/colstore"
 	"numacs/internal/core"
-	"numacs/internal/memsim"
-	"numacs/internal/sched"
-	"numacs/internal/sim"
+	"numacs/internal/exec"
 )
 
 // ---- functional hash join ---------------------------------------------------
@@ -143,226 +143,114 @@ type Spec struct {
 	HTMissRate        float64
 }
 
-// Defaults.
-const (
-	defaultBuildCycles = 25
-	defaultProbeCycles = 18
-	defaultHTMissRate  = 0.5 // hash tables are bigger and colder than dictionaries
-)
-
-// run tracks one executing join.
-type run struct {
-	e       *core.Engine
-	spec    Spec
-	issued  float64
-	htRange memsim.Range
-	pending int
+// op builds the exec join operator for the spec (empty HTSockets defaults
+// inside the operator, at build open).
+func (s Spec) op(e *core.Engine) *exec.JoinOp {
+	return &exec.JoinOp{
+		Build:             s.Build,
+		Probe:             s.Probe,
+		HTSockets:         s.HTSockets,
+		HitsPerProbeRow:   s.HitsPerProbeRow,
+		Alloc:             e.Placer.Alloc,
+		BuildCyclesPerRow: s.BuildCyclesPerRow,
+		ProbeCyclesPerRow: s.ProbeCyclesPerRow,
+		HTMissRate:        s.HTMissRate,
+	}
 }
 
-// Execute runs the join on the engine's simulated machine: a parallel build
-// phase (tasks bound to the build data's sockets, writing the hash table),
-// a barrier, then a parallel probe phase (tasks bound to the probe data's
-// sockets, randomly accessing the hash table wherever it was placed).
+// Execute runs the join on the engine's simulated machine as a two-phase
+// operator pipeline: a parallel build phase (tasks bound to the build data's
+// sockets, writing the hash table), a barrier, then a parallel probe phase
+// (tasks bound to the probe data's sockets, randomly accessing the hash
+// table wherever it was placed). Like its predecessor, it bypasses the
+// statement entry point: no per-query overhead and no concurrency-hint
+// accounting.
 func Execute(e *core.Engine, spec Spec) {
 	if spec.Build.IVPSM == nil || spec.Probe.IVPSM == nil {
 		panic("join: columns must be placed before execution")
 	}
-	if len(spec.HTSockets) == 0 {
-		spec.HTSockets = []int{spec.Build.IVPSM.MajoritySocket()}
+	j := spec.op(e)
+	p := &exec.Pipeline{
+		Env:        e.ExecEnv(),
+		Strategy:   spec.Strategy,
+		HomeSocket: spec.HomeSocket,
+		IssuedAt:   e.Sim.Now(),
+		Ops:        []exec.Operator{j.BuildOp(), j.ProbeOp()},
+		OnDone:     spec.OnDone,
 	}
-	if spec.BuildCyclesPerRow == 0 {
-		spec.BuildCyclesPerRow = defaultBuildCycles
-	}
-	if spec.ProbeCyclesPerRow == 0 {
-		spec.ProbeCyclesPerRow = defaultProbeCycles
-	}
-	if spec.HTMissRate == 0 {
-		spec.HTMissRate = defaultHTMissRate
-	}
-	r := &run{e: e, spec: spec, issued: e.Sim.Now()}
-	// Allocate the hash table across its sockets (open addressing at 2x the
-	// build rows, 16 bytes per slot).
-	htBytes := int64(spec.Build.Rows) * 2 * 16
-	if len(spec.HTSockets) == 1 {
-		r.htRange = e.Placer.Alloc.Alloc(htBytes, memsim.OnSocket(spec.HTSockets[0]))
-	} else {
-		r.htRange = e.Placer.Alloc.Alloc(htBytes, memsim.Interleaved{Sockets: spec.HTSockets})
-	}
-	r.phase(spec.Build, spec.BuildCyclesPerRow, 1.0, r.probePhase)
+	p.Start()
 }
 
-// htWeights returns the access distribution over the hash-table sockets.
-func (r *run) htWeights() []float64 {
-	w := make([]float64, r.e.Machine.Sockets)
-	for _, s := range r.spec.HTSockets {
-		w[s] += 1 / float64(len(r.spec.HTSockets))
-	}
-	return w
+// StarSpec describes a composed scan -> join -> aggregate statement over a
+// star schema: a range predicate filters the dimension, the surviving
+// dimension keys build the join hash table, the fact foreign-key column
+// probes it, and the matching fact rows' measures are aggregated — all four
+// phases scheduled as one statement with PSM-derived task affinities.
+type StarSpec struct {
+	// Dim is the dimension table; DimPredicate is its scanned predicate
+	// column, DimKey the join-key column inserted into the hash table.
+	Dim          *colstore.Table
+	DimPredicate string
+	DimKey       string
+	// Fact is the fact table; FactFK is its foreign-key (probe) column.
+	Fact   *colstore.Table
+	FactFK string
+
+	// Selectivity of the dimension predicate.
+	Selectivity float64
+	// HitsPerProbeRow is the join cardinality per fact row against the
+	// unfiltered dimension (the predicate scales it down).
+	HitsPerProbeRow float64
+	// AggBytesPerRow / AggCyclesPerRow cost the measure aggregation per
+	// matching fact row.
+	AggBytesPerRow  float64
+	AggCyclesPerRow float64
+
+	// HTSockets places the hash table (defaults to the dimension key's
+	// majority socket).
+	HTSockets []int
+	Strategy  core.Strategy
+	// HomeSocket of the issuing client.
+	HomeSocket int
+	OnDone     func(latency float64)
 }
 
-// phase fans one join phase out over the column's IVP partitions: each task
-// streams its share of the column and performs one hash-table access per
-// row (insert during build, probe afterwards).
-func (r *run) phase(col *colstore.Column, cyclesPerRow, accessesPerRow float64, onBarrier func()) {
-	e := r.e
-	nparts := col.NumPartitions()
-	hint := e.ConcurrencyHint()
-	perPartition := (hint + nparts - 1) / nparts
-	type task struct {
-		from, to, socket int
+// ExecuteStar submits the composed star-join statement: a four-operator
+// pipeline (dimension scan, join build, join probe, measure aggregation)
+// that runs through the statement entry point — per-query overhead,
+// concurrency-hint accounting, statement-timestamp priorities — which none
+// of the three pre-pipeline execution paths could express.
+func ExecuteStar(e *core.Engine, s StarSpec) {
+	dimPred := s.Dim.Column(s.DimPredicate)
+	dimKey := s.Dim.Column(s.DimKey)
+	factFK := s.Fact.Column(s.FactFK)
+	if dimPred == nil || dimKey == nil || factFK == nil {
+		panic("join: star spec names unknown columns")
 	}
-	var tasks []task
-	for pi := 0; pi < nparts; pi++ {
-		pf, pt := col.PartitionBounds(pi)
-		sock := partitionSocket(col, pf, pt)
-		n := perPartition
-		if n > pt-pf {
-			n = pt - pf
-		}
-		for ti := 0; ti < n; ti++ {
-			f := pf + (pt-pf)*ti/n
-			t := pf + (pt-pf)*(ti+1)/n
-			tasks = append(tasks, task{f, t, sock})
-		}
+	if dimPred.IVPSM == nil || dimKey.IVPSM == nil || factFK.IVPSM == nil {
+		panic("join: columns must be placed before execution")
 	}
-	r.pending = len(tasks)
-	weights := r.htWeights()
-	for _, tk := range tasks {
-		tk := tk
-		affinity, hard := affinityFor(r.spec.Strategy, tk.socket)
-		e.Sched.Submit(&sched.Task{
-			Priority: r.issued, Affinity: affinity, Hard: hard, CallerSocket: r.spec.HomeSocket,
-			Run: func(w *sched.Worker, done func()) {
-				r.runTask(w, col, tk.from, tk.to, cyclesPerRow, accessesPerRow, weights,
-					func() {
-						done()
-						r.pending--
-						if r.pending == 0 {
-							onBarrier()
-						}
-					})
-			},
-		})
+	scan := &exec.ScanOp{
+		Table:       s.Dim,
+		Column:      s.DimPredicate,
+		Selectivity: s.Selectivity,
+		Parallel:    true,
 	}
-}
-
-// runTask streams the rows' IV bytes, then performs the hash-table random
-// accesses.
-func (r *run) runTask(w *sched.Worker, col *colstore.Column, from, to int,
-	cyclesPerRow, accessesPerRow float64, htWeights []float64, onDone func()) {
-
-	e := r.e
-	src := w.Socket()
-	offFrom := col.IVOffsetForRow(from)
-	bytes := col.IVBytesForRows(from, to)
-	if offFrom+bytes > col.IVRange.Bytes {
-		bytes = col.IVRange.Bytes - offFrom
+	j := &exec.JoinOp{
+		Build:           dimKey,
+		Probe:           factFK,
+		HTSockets:       s.HTSockets,
+		HitsPerProbeRow: s.HitsPerProbeRow,
+		Alloc:           e.Placer.Alloc,
+		BuildSource:     scan,
 	}
-	perSocket := col.IVPSM.SocketBytes(col.IVRange, offFrom, bytes)
-	penalty := 1.0
-	if !w.Bound {
-		penalty = e.Costs.UnboundStreamPenalty
+	agg := &exec.AggregateOp{
+		Source:       j,
+		BytesPerRow:  s.AggBytesPerRow,
+		CyclesPerRow: s.AggCyclesPerRow,
+		Parallel:     true,
 	}
-
-	// Phase A: stream the column slice.
-	var phases []*sim.Flow
-	for dst, b := range perSocket {
-		if b == 0 {
-			continue
-		}
-		dst := dst
-		demands, lt := e.HW.StreamDemands(src, dst, w.CoreRes, 0.3)
-		phases = append(phases, &sim.Flow{
-			Remaining: float64(b),
-			RateCap:   e.Machine.StreamRate(src, dst) * penalty,
-			Demands:   demands,
-			OnAdvance: func(p float64) {
-				e.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
-			},
-		})
-	}
-	// Phase B: hash-table accesses.
-	accesses := float64(to-from) * accessesPerRow
-	demands, rateCap, _ := e.HW.RandomDemands(src, htWeights, w.CoreRes,
-		cyclesPerRow, 0, r.spec.HTMissRate)
-	if !w.Bound {
-		rateCap *= e.Costs.UnboundStreamPenalty
-	}
-	miss := r.spec.HTMissRate
-	htFlow := &sim.Flow{
-		Remaining: accesses,
-		RateCap:   rateCap,
-		Demands:   demands,
-		OnAdvance: func(p float64) {
-			b := p * 64 * miss
-			for dst, frac := range htWeights {
-				if frac > 0 {
-					e.Counters.AddMemoryTraffic(src, dst, b*frac, 0, 0)
-				}
-			}
-			e.Counters.AddCompute(src, p*cyclesPerRow, 0)
-		},
-	}
-	phases = append(phases, htFlow)
-	for i := 0; i < len(phases)-1; i++ {
-		next := phases[i+1]
-		phases[i].OnDone = func() { e.Sim.StartFlow(next) }
-	}
-	phases[len(phases)-1].OnDone = onDone
-	e.Sim.StartFlow(phases[0])
-}
-
-// probePhase runs after the build barrier.
-func (r *run) probePhase() {
-	r.phase(r.spec.Probe, r.spec.ProbeCyclesPerRow, maxf(r.spec.HitsPerProbeRow, 1), r.complete)
-}
-
-func (r *run) complete() {
-	e := r.e
-	e.Placer.Alloc.Free(r.htRange)
-	lat := e.Sim.Now() - r.issued
-	e.Counters.AddLatency(lat)
-	if r.spec.OnDone != nil {
-		r.spec.OnDone(lat)
-	}
-}
-
-// partitionSocket resolves the majority socket of a row range.
-func partitionSocket(col *colstore.Column, from, to int) int {
-	offFrom := col.IVOffsetForRow(from)
-	bytes := col.IVBytesForRows(from, to)
-	if offFrom+bytes > col.IVRange.Bytes {
-		bytes = col.IVRange.Bytes - offFrom
-	}
-	per := col.IVPSM.SocketBytes(col.IVRange, offFrom, bytes)
-	best, bestB := -1, int64(0)
-	for s, b := range per {
-		if b > bestB {
-			best, bestB = s, b
-		}
-	}
-	return best
-}
-
-func affinityFor(strategy core.Strategy, socket int) (int, bool) {
-	if socket < 0 {
-		return -1, false
-	}
-	switch strategy {
-	case core.OSched:
-		return -1, false
-	case core.Target:
-		return socket, false
-	default:
-		return socket, true
-	}
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	e.SubmitPipeline(s.Strategy, s.HomeSocket, s.OnDone, scan, j.BuildOp(), j.ProbeOp(), agg)
 }
 
 // String renders a spec for logs.

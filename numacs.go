@@ -43,6 +43,7 @@ import (
 	"numacs/internal/agg"
 	"numacs/internal/colstore"
 	"numacs/internal/core"
+	"numacs/internal/exec"
 	"numacs/internal/harness"
 	"numacs/internal/join"
 	"numacs/internal/memsim"
@@ -183,6 +184,44 @@ func NewEngineWithStep(m *Machine, seed int64, step float64) *Engine {
 // DefaultCosts returns the calibrated cost-model defaults.
 func DefaultCosts() Costs { return core.DefaultCosts() }
 
+// Operator pipelines ----------------------------------------------------------------
+
+// Pipeline sequences operators with barriers on the simulated machine; every
+// statement (scan, aggregation, join, or a composition) executes as one.
+type Pipeline = exec.Pipeline
+
+// Operator produces the tasks of one pipeline phase.
+type Operator = exec.Operator
+
+// ExecEnv bundles what operators need from an engine; obtain one via
+// Engine.ExecEnv.
+type ExecEnv = exec.Env
+
+// ScanOp is the find phase of Section 5.2 as a composable operator.
+type ScanOp = exec.ScanOp
+
+// MaterializeOp is the output-materialization phase as a composable operator.
+type MaterializeOp = exec.MaterializeOp
+
+// AggOp aggregates the qualifying regions of a ScanOp or JoinOp.
+type AggOp = exec.AggregateOp
+
+// JoinOp is the hash-join operator; it contributes the BuildOp and ProbeOp
+// pipeline phases and feeds its probe-side match regions downstream.
+type JoinOp = exec.JoinOp
+
+// Region is a per-partition qualifying-match count with its data socket.
+type Region = exec.Region
+
+// RegionSource is an operator yielding qualifying regions (ScanOp, JoinOp).
+type RegionSource = exec.RegionSource
+
+// AffinityFor derives a task affinity from a scheduling strategy and a
+// natural data socket — the single source of that rule for every operator.
+func AffinityFor(s Strategy, socket int) (affinity int, hard bool) {
+	return exec.AffinityFor(s, socket)
+}
+
 // Scheduler & metrics ---------------------------------------------------------------
 
 // Task is a schedulable unit of work.
@@ -267,6 +306,16 @@ func HashJoin(build, probe *Column) []JoinPair { return join.HashJoin(build, pro
 // bound to the build data, probe tasks bound to the probe data, hash-table
 // accesses wherever JoinSpec.HTSockets placed it.
 func ExecuteJoin(e *Engine, spec JoinSpec) { join.Execute(e, spec) }
+
+// StarJoinSpec describes a composed scan -> join -> aggregate statement over
+// a star schema: a range predicate filters the dimension, the surviving keys
+// build the hash table, the fact foreign-key column probes it, and the
+// matching rows' measures are aggregated in one scheduled statement.
+type StarJoinSpec = join.StarSpec
+
+// ExecuteStarJoin submits the composed star-join statement as a
+// four-operator pipeline through the statement entry point.
+func ExecuteStarJoin(e *Engine, spec StarJoinSpec) { join.ExecuteStar(e, spec) }
 
 // Adaptive design ----------------------------------------------------------------------
 
