@@ -19,6 +19,8 @@ func main() {
 		hot     = flag.Float64("hot", 0.8, "probability of querying the hot half of columns")
 		period  = flag.Float64("period", 0.02, "placer period (virtual s)")
 		horizon = flag.Float64("horizon", 0.6, "total virtual time (s)")
+		budget  = flag.Int64("replica-budget-mib", numacs.DefaultAdaptiveConfig().ReplicaBudgetBytes>>20,
+			"replica memory budget in MiB (0 disables adaptive replication)")
 	)
 	flag.Parse()
 
@@ -32,6 +34,7 @@ func main() {
 
 	cfg := numacs.DefaultAdaptiveConfig()
 	cfg.Period = *period
+	cfg.ReplicaBudgetBytes = *budget << 20
 	placer := numacs.NewAdaptivePlacer(engine, &numacs.Catalog{Tables: []*numacs.Table{table}}, cfg)
 	engine.Sim.AddActor(placer)
 
@@ -59,13 +62,21 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Printf("\nplacement decisions (%d, %d pages moved):\n", len(placer.Actions), placer.PagesMoved)
+	fmt.Printf("\nplacement decisions (%d, %d pages moved, %d pages copied, replica bytes %d KiB peak %d KiB of %d KiB budget):\n",
+		len(placer.Actions), placer.PagesMoved, placer.PagesCopied,
+		placer.ReplicaBytes()>>10, placer.PeakReplicaBytes>>10, cfg.ReplicaBudgetBytes>>10)
 	for _, a := range placer.Actions {
 		switch a.Kind {
 		case "move":
 			fmt.Printf("  t=%6.1fms  move         %-8s S%d -> S%d\n", a.Time*1e3, a.Column, a.From+1, a.To+1)
 		case "shrink":
 			fmt.Printf("  t=%6.1fms  shrink       %-8s -> %d parts\n", a.Time*1e3, a.Column, a.Parts)
+		case "replicate":
+			fmt.Printf("  t=%6.1fms  replicate    %-8s + copy on S%d (%d KiB)\n",
+				a.Time*1e3, a.Column, a.To+1, a.Bytes>>10)
+		case "drop-replica":
+			fmt.Printf("  t=%6.1fms  drop-replica %-8s - copy on S%d (%d KiB freed)\n",
+				a.Time*1e3, a.Column, a.From+1, a.Bytes>>10)
 		default:
 			fmt.Printf("  t=%6.1fms  %-12s %-8s -> %d parts (new on S%d)\n",
 				a.Time*1e3, a.Kind, a.Column, a.Parts, a.To+1)

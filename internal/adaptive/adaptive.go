@@ -1,26 +1,35 @@
 // Package adaptive implements the envisioned adaptive design of Section 7:
 // a catalog exposing every column's Page Socket Mappings, and a data placer
 // that continuously balances CPU and memory-bandwidth utilization across
-// sockets by moving or repartitioning hot data items, and shrinks cold
-// partitioned items when utilization is balanced.
+// sockets by moving, repartitioning, or replicating hot data items, and
+// shrinks cold partitioned items and stale replicas when utilization is
+// balanced.
 //
-// The placer follows the paper's flowchart (Figure 20):
+// The placer follows the paper's flowchart (Figure 20), extended with the
+// replication placement of Section 4.2 as a third lever:
 //
 //	place data using RR
 //	loop:
 //	  if utilization unbalanced:
 //	      find hottest socket, find hottest item on it
-//	      if the item does not dominate the socket: move it to the coldest socket
-//	      else: increase its partitions (IVP if IV-intensive, else PP),
-//	            placing the new partition on the coldest socket
+//	      if the item dominates the socket and is read-hot (scan traffic,
+//	          no recent repartition churn) and the replica budget allows:
+//	          add a replica of it on the coldest socket
+//	      else if the item does not dominate the socket: move it to the
+//	          coldest socket
+//	      else: increase its partitions, placing the new partition on the
+//	          coldest socket
 //	  else:
-//	      for each partitioned item with no active traffic: decrease partitions
+//	      for each partitioned item with no active traffic: decrease
+//	          partitions; for each replicated item, reclaim replicas whose
+//	          traffic has decayed
 package adaptive
 
 import (
 	"numacs/internal/colstore"
 	"numacs/internal/core"
 	"numacs/internal/memsim"
+	"numacs/internal/placement"
 )
 
 // Catalog lists the tables whose columns the placer manages, mirroring the
@@ -42,7 +51,8 @@ func (c *Catalog) Columns() []*colstore.Column {
 	return out
 }
 
-// Config tunes the placer.
+// Config tunes the placer (the knobs of the Section 7 design; see the
+// "adaptive placement knobs" section of EXPERIMENTS.md).
 type Config struct {
 	// Period between balancing rounds in virtual seconds.
 	Period float64
@@ -51,56 +61,141 @@ type Config struct {
 	ImbalanceRatio float64
 	// DominanceFraction: an item "dominates" its socket when it contributes
 	// at least this fraction of the socket's traffic — then it is
-	// partitioned rather than moved.
+	// replicated or partitioned rather than moved.
 	DominanceFraction float64
 	// MaxPartitions caps IVP growth (machine sockets by default).
 	MaxPartitions int
+
+	// ReplicaBudgetBytes caps the total simulated memory spent on extra
+	// column replicas (the Section 4.2 replication placement "at the
+	// expense of memory"). Zero disables adaptive replication entirely —
+	// the placer then balances with moves and repartitioning only.
+	// DefaultConfig sets DefaultReplicaBudgetBytes, a 1/16 fraction of the
+	// nominal per-socket DRAM the simulation assumes.
+	ReplicaBudgetBytes int64
+	// ReadHotFraction: an item qualifies for replication only when its
+	// scan + dictionary read bytes are at least this fraction of its total
+	// attributed traffic (replication suits read-mostly items; a column
+	// whose traffic is dominated by output writes gains nothing from extra
+	// read copies).
+	ReadHotFraction float64
+	// ReplicaCooldown is the virtual-time window after a move/repartition
+	// of a column during which it is not replicated (no replication on top
+	// of fresh repartition churn). Zero defaults to 2x Period.
+	ReplicaCooldown float64
+	// StaleReplicaFraction: in the balanced branch, an extra replica is
+	// garbage-collected when it served less than this fraction of the
+	// column's even per-copy share over the last period — the copy no
+	// longer earns its keep.
+	StaleReplicaFraction float64
 }
+
+// DefaultReplicaBudgetBytes is the default replica budget: 1/16 of the
+// 4 GiB-per-socket DRAM the simulated machines nominally have. Experiments
+// that model explicit DRAM capacities (Allocator.SetCapacity) should derive
+// the budget from those instead.
+const DefaultReplicaBudgetBytes = 4 << 30 / 16
 
 // DefaultConfig returns the placer defaults.
 func DefaultConfig() Config {
 	return Config{
-		Period:            10e-3,
-		ImbalanceRatio:    1.4,
-		DominanceFraction: 0.5,
+		Period:               10e-3,
+		ImbalanceRatio:       1.4,
+		DominanceFraction:    0.5,
+		ReplicaBudgetBytes:   DefaultReplicaBudgetBytes,
+		ReadHotFraction:      0.5,
+		StaleReplicaFraction: 0.1,
 	}
 }
 
-// Action records one placement decision, for observability and tests.
+// Action records one placement decision, for observability and tests. Kind
+// is one of "move", "partition-ivp", "replicate", "drop-replica", "shrink".
 type Action struct {
 	Time   float64
-	Kind   string // "move", "partition-ivp", "partition-pp", "shrink"
+	Kind   string
 	Column string
 	From   int
 	To     int
 	Parts  int
+	// Bytes is the replica memory allocated ("replicate") or reclaimed
+	// ("drop-replica").
+	Bytes int64
 }
 
-// Placer is the data placer actor. Register it with the simulation engine
-// (engine.Sim.AddActor) after placing data with RR.
+// Placer is the data placer actor of Figure 20. Register it with the
+// simulation engine (engine.Sim.AddActor) after placing data with RR.
 type Placer struct {
 	Engine  *core.Engine
 	Catalog *Catalog
 	Cfg     Config
 
-	lastRun    float64
-	lastMC     []float64
-	Actions    []Action
+	lastRun   float64
+	lastMC    []float64
+	lastChurn map[string]float64 // column -> last move/repartition time
+
+	// Actions is the decision log, newest last.
+	Actions []Action
+	// PagesMoved counts pages migrated by moves and repartitioning (the
+	// move_pages cost proxy of Table 2).
 	PagesMoved int64
+	// PagesCopied counts pages streamed to create replicas (replication
+	// copies data instead of moving pages).
+	PagesCopied int64
+
+	replicaBytes int64
+	// PeakReplicaBytes is the high-water mark of replica memory, for
+	// asserting the budget is never exceeded.
+	PeakReplicaBytes int64
 }
 
-// New creates a placer.
+// New creates a placer. Zero-valued Config fields are filled with the
+// DefaultConfig values field by field — except ReplicaBudgetBytes, whose
+// zero is meaningful ("replication disabled"): start from DefaultConfig()
+// to opt into the default budget. Any replicas already present on the
+// catalog's columns (e.g. placed manually with PlaceReplicated) count
+// against the budget from the start.
 func New(e *core.Engine, cat *Catalog, cfg Config) *Placer {
+	def := DefaultConfig()
 	if cfg.Period == 0 {
-		cfg = DefaultConfig()
+		cfg.Period = def.Period
+	}
+	if cfg.ImbalanceRatio == 0 {
+		cfg.ImbalanceRatio = def.ImbalanceRatio
+	}
+	if cfg.DominanceFraction == 0 {
+		cfg.DominanceFraction = def.DominanceFraction
+	}
+	if cfg.ReadHotFraction == 0 {
+		cfg.ReadHotFraction = def.ReadHotFraction
+	}
+	if cfg.StaleReplicaFraction == 0 {
+		cfg.StaleReplicaFraction = def.StaleReplicaFraction
 	}
 	if cfg.MaxPartitions == 0 {
 		cfg.MaxPartitions = e.Machine.Sockets
 	}
-	return &Placer{Engine: e, Catalog: cat, Cfg: cfg, lastMC: make([]float64, e.Machine.Sockets)}
+	if cfg.ReplicaCooldown == 0 {
+		cfg.ReplicaCooldown = 2 * cfg.Period
+	}
+	p := &Placer{
+		Engine:    e,
+		Catalog:   cat,
+		Cfg:       cfg,
+		lastMC:    make([]float64, e.Machine.Sockets),
+		lastChurn: make(map[string]float64),
+	}
+	for _, col := range cat.Columns() {
+		p.replicaBytes += col.ExtraReplicaBytes()
+	}
+	p.PeakReplicaBytes = p.replicaBytes
+	return p
 }
 
-// Tick implements sim.Actor.
+// ReplicaBytes returns the simulated memory currently spent on extra
+// replicas, the quantity capped by Config.ReplicaBudgetBytes.
+func (p *Placer) ReplicaBytes() int64 { return p.replicaBytes }
+
+// Tick implements sim.Actor: one balancing round per Config.Period.
 func (p *Placer) Tick(now float64) {
 	if now-p.lastRun < p.Cfg.Period {
 		return
@@ -125,42 +220,39 @@ func (p *Placer) Tick(now float64) {
 		total += d
 	}
 	if total <= 0 {
+		// A fully idle period carries no signal: leave placement (including
+		// replicas) untouched rather than churn on a workload gap.
 		return
 	}
 	if delta[hot] > p.Cfg.ImbalanceRatio*maxf(delta[cold], total/float64(len(delta))/4) {
 		p.rebalance(now, hot, cold, delta[hot], traffic)
 		return
 	}
-	p.shrinkCold(now, traffic)
+	p.shrinkCold(now, traffic, total/float64(len(delta)))
 }
 
-// rebalance implements the unbalanced branch of the flowchart.
+// rebalance implements the unbalanced branch of the flowchart: replicate a
+// read-hot dominating item, move a non-dominating one, or repartition.
 func (p *Placer) rebalance(now float64, hot, cold int, hotBytes float64, traffic map[string]*core.ItemTraffic) {
-	// Find the hottest item whose IV lives (at least partly) on the hot
-	// socket.
-	var hottest *colstore.Column
-	var hottestTraffic *core.ItemTraffic
-	best := 0.0
-	for _, col := range p.Catalog.Columns() {
-		it := traffic[col.Name]
-		if it == nil || col.IVPSM == nil {
-			continue
-		}
-		onHot := false
-		for s, pages := range col.IVPSM.Summary() {
-			if s == hot && pages > 0 {
-				onHot = true
-			}
-		}
-		if onHot && it.Bytes > best {
-			best = it.Bytes
-			hottest = col
-			hottestTraffic = it
-		}
-	}
+	hottest, hottestTraffic := p.hottestOn(hot, traffic, false)
 	if hottest == nil {
 		return
 	}
+	if p.tryReplicate(now, hottest, hottestTraffic, hot, cold, hotBytes) {
+		return
+	}
+	if hottest.Replicated() {
+		// A replicated item has no move/partition lever left: moving the
+		// primary would desynchronize the replica metadata and IVP conflicts
+		// with replica-sliced scheduling. While the budget (or cooldown)
+		// gates further replicas, offload the hot socket's next-hottest
+		// unreplicated item instead.
+		hottest, hottestTraffic = p.hottestOn(hot, traffic, true)
+		if hottest == nil {
+			return
+		}
+	}
+	best := hottestTraffic.Bytes
 	alloc := p.Engine.Placer.Alloc
 	if best < p.Cfg.DominanceFraction*hotBytes && hottest.NumPartitions() == 1 {
 		// The item does not dominate the hot socket: move it wholesale to
@@ -171,14 +263,17 @@ func (p *Placer) rebalance(now float64, hot, cold int, hotBytes float64, traffic
 			moved += hottest.IXPSM.MoveRange(alloc, hottest.IXRange, cold)
 		}
 		p.PagesMoved += moved
+		p.lastChurn[hottest.Name] = now
 		p.Actions = append(p.Actions, Action{Time: now, Kind: "move", Column: hottest.Name, From: hot, To: cold})
 		return
 	}
 	// The item dominates: increase its partition count, placing the new
-	// partition on the coldest socket. IVP when the item's traffic is
-	// IV-scan dominated, PP otherwise (Figure 20); whole-column management
-	// uses IVP here — PP operates at table granularity and is delegated to
-	// the repartitioning tooling.
+	// partition on the coldest socket. The whole-column placer always uses
+	// the IVP mechanism — PP operates at table granularity and is delegated
+	// to the repartitioning tooling (placement.PlacePP and the PPCost
+	// model), so the action is labelled by the mechanism actually applied.
+	// The paper's Figure 20 would pick PP for dictionary-heavy items; here
+	// such items are preferentially served by replication above.
 	nparts := hottest.NumPartitions()
 	if nparts >= p.Cfg.MaxPartitions {
 		return
@@ -187,30 +282,140 @@ func (p *Placer) rebalance(now float64, hot, cold int, hotBytes float64, traffic
 	sockets = append(sockets, cold)
 	moved := p.Engine.Placer.RepartitionIVP(hottest, sockets)
 	p.PagesMoved += moved
-	kind := "partition-ivp"
-	if hottestTraffic != nil && hottestTraffic.DictBytes > hottestTraffic.IVBytes {
-		kind = "partition-pp"
+	p.lastChurn[hottest.Name] = now
+	p.Actions = append(p.Actions, Action{Time: now, Kind: "partition-ivp", Column: hottest.Name, From: hot, To: cold, Parts: nparts + 1})
+}
+
+// hottestOn finds the item with the most attributed traffic that has a copy
+// (primary IV pages or a replica) on the hot socket. skipReplicated
+// restricts the search to items the move/partition levers still apply to.
+func (p *Placer) hottestOn(hot int, traffic map[string]*core.ItemTraffic, skipReplicated bool) (*colstore.Column, *core.ItemTraffic) {
+	var hottest *colstore.Column
+	var hottestTraffic *core.ItemTraffic
+	best := 0.0
+	for _, col := range p.Catalog.Columns() {
+		it := traffic[col.Name]
+		if it == nil || col.IVPSM == nil {
+			continue
+		}
+		if skipReplicated && col.Replicated() {
+			continue
+		}
+		onHot := false
+		for s, pages := range col.IVPSM.Summary() {
+			if s == hot && pages > 0 {
+				onHot = true
+			}
+		}
+		for _, s := range col.ReplicaSockets {
+			if s == hot {
+				onHot = true
+			}
+		}
+		if onHot && it.Bytes > best {
+			best = it.Bytes
+			hottest = col
+			hottestTraffic = it
+		}
 	}
-	p.Actions = append(p.Actions, Action{Time: now, Kind: kind, Column: hottest.Name, From: hot, To: cold, Parts: nparts + 1})
+	return hottest, hottestTraffic
+}
+
+// tryReplicate applies the replication lever: a dominating, read-hot item
+// with no recent repartition churn gains a copy on the coldest socket, if
+// the memory budget allows. Returns true when a replica was added.
+func (p *Placer) tryReplicate(now float64, col *colstore.Column, it *core.ItemTraffic, hot, cold int, hotBytes float64) bool {
+	if p.Cfg.ReplicaBudgetBytes <= 0 || col.NumPartitions() != 1 {
+		return false
+	}
+	if it == nil || it.Bytes <= 0 || it.Bytes < p.Cfg.DominanceFraction*hotBytes {
+		return false
+	}
+	if reads := it.IVBytes + it.DictBytes; reads < p.Cfg.ReadHotFraction*it.Bytes {
+		return false
+	}
+	if t, ok := p.lastChurn[col.Name]; ok && now-t < p.Cfg.ReplicaCooldown {
+		return false
+	}
+	for _, s := range col.ReplicaSockets {
+		if s == cold {
+			return false
+		}
+	}
+	if p.replicaBytes+placement.ReplicaFootprintBytes(col) > p.Cfg.ReplicaBudgetBytes {
+		return false
+	}
+	added := p.Engine.Placer.AddReplica(col, cold)
+	if added == 0 {
+		return false
+	}
+	p.replicaBytes += added
+	if p.replicaBytes > p.PeakReplicaBytes {
+		p.PeakReplicaBytes = p.replicaBytes
+	}
+	p.PagesCopied += (added + memsim.PageSize - 1) / memsim.PageSize
+	p.Actions = append(p.Actions, Action{Time: now, Kind: "replicate", Column: col.Name, From: hot, To: cold, Bytes: added})
+	return true
 }
 
 // shrinkCold implements the balanced branch: partitioned items with no
-// active traffic collapse back toward a single partition, freeing the
-// machine from unnecessary partitioning overhead (Section 6.1.4).
-func (p *Placer) shrinkCold(now float64, traffic map[string]*core.ItemTraffic) {
+// active traffic collapse back toward a single partition (Section 6.1.4),
+// and replicas that stopped earning their keep are garbage-collected,
+// returning their memory to the budget. avgSocketBytes is the mean
+// per-socket traffic of the last period, the absolute reference a
+// replicated column's traffic must stay significant against. At most one
+// action per round.
+func (p *Placer) shrinkCold(now float64, traffic map[string]*core.ItemTraffic, avgSocketBytes float64) {
 	for _, col := range p.Catalog.Columns() {
+		it := traffic[col.Name]
+		if col.Replicated() {
+			if stale := p.staleReplica(col, it, avgSocketBytes); stale >= 0 {
+				freed := p.Engine.Placer.DropReplica(col, stale)
+				p.replicaBytes -= freed
+				p.Actions = append(p.Actions, Action{Time: now, Kind: "drop-replica", Column: col.Name, From: stale, Bytes: freed})
+				return
+			}
+			continue
+		}
 		if col.NumPartitions() <= 1 {
 			continue
 		}
-		if it := traffic[col.Name]; it != nil && it.Bytes > 0 {
+		if it != nil && it.Bytes > 0 {
 			continue // item is warm
 		}
 		sockets := currentIVSockets(col)
 		moved := p.Engine.Placer.RepartitionIVP(col, sockets[:len(sockets)-1])
 		p.PagesMoved += moved
+		p.lastChurn[col.Name] = now
 		p.Actions = append(p.Actions, Action{Time: now, Kind: "shrink", Column: col.Name, Parts: col.NumPartitions()})
-		return // at most one shrink per round
+		return // at most one action per round
 	}
+}
+
+// staleReplica returns the socket of one extra replica of the column whose
+// last-period traffic no longer justifies the copy, or -1. A replica is
+// stale when the column went fully cold, when its total traffic decayed to
+// a negligible fraction of the average socket's (the column would no longer
+// qualify for replication today), or when this particular copy served far
+// less than its even share (scheduling drifted away from it).
+func (p *Placer) staleReplica(col *colstore.Column, it *core.ItemTraffic, avgSocketBytes float64) int {
+	if len(col.ReplicaSockets) < 2 {
+		return -1
+	}
+	if it == nil || it.Bytes <= 0 || it.Bytes < p.Cfg.StaleReplicaFraction*avgSocketBytes {
+		return col.ReplicaSockets[len(col.ReplicaSockets)-1]
+	}
+	evenShare := it.Bytes / float64(len(col.ReplicaSockets))
+	for _, s := range col.ReplicaSockets[1:] {
+		served := 0.0
+		if s >= 0 && s < len(it.PerSocket) {
+			served = it.PerSocket[s]
+		}
+		if served < p.Cfg.StaleReplicaFraction*evenShare {
+			return s
+		}
+	}
+	return -1
 }
 
 // currentIVSockets lists the sockets of the column's IVP partitions in

@@ -197,7 +197,9 @@ func (oneColumn) Pick(rng *rand.Rand, columns int) int { return columns - 1 }
 
 // TestPlacerPartitionsDominatingItem forces the Figure 20 branch where the
 // hottest item dominates its socket: moving it would only move the hotspot,
-// so the placer must increase its partition count instead.
+// so the placer must increase its partition count instead. Replication is
+// disabled (budget 0) to pin the partitioning fallback; the replication
+// lever has its own tests in replicate_test.go.
 func TestPlacerPartitionsDominatingItem(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-window placer simulation")
@@ -211,6 +213,7 @@ func TestPlacerPartitionsDominatingItem(t *testing.T) {
 	hot := tbl.Parts[0].Columns[7]
 	cfg := DefaultConfig()
 	cfg.Period = 5e-3
+	cfg.ReplicaBudgetBytes = 0
 	p := New(e, &Catalog{Tables: []*colstore.Table{tbl}}, cfg)
 	e.Sim.AddActor(p)
 	clients := workload.NewClients(e, tbl, workload.ClientsConfig{

@@ -1,0 +1,215 @@
+package adaptive
+
+// Tests for the replication lever of the Section 7 placer: replicate
+// decisions on read-hot dominating items, the memory budget cap, stale
+// replica garbage collection, and the partition action label regression.
+
+import (
+	"math/rand"
+	"testing"
+
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/placement"
+	"numacs/internal/topology"
+	"numacs/internal/workload"
+)
+
+// hotOneSetup drives 98% of the traffic to one column at the given
+// selectivity and returns the engine, the hot column, and the placer.
+func hotOneSetup(t *testing.T, sel float64, tweak func(*Config)) (*core.Engine, *colstore.Column, *Placer) {
+	t.Helper()
+	m := topology.FourSocketIvyBridge()
+	e := core.New(m, 1)
+	tbl := workload.Generate(workload.DatasetConfig{
+		Rows: 60000, Columns: 16, BitcaseMin: 12, BitcaseMax: 18, Seed: 1, Synthetic: true,
+	})
+	e.Placer.PlaceRRBlocks(tbl)
+	hot := tbl.Parts[0].Columns[2] // socket 0 holds columns 0..3
+	cfg := DefaultConfig()
+	cfg.Period = 5e-3
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	p := New(e, &Catalog{Tables: []*colstore.Table{tbl}}, cfg)
+	e.Sim.AddActor(p)
+	clients := workload.NewClients(e, tbl, workload.ClientsConfig{
+		N: 256, Selectivity: sel, Parallel: true, Strategy: core.Bound,
+		Chooser: workload.HotColumnChoice{Hot: 2, P: 0.98}, Seed: 2,
+	})
+	clients.Start()
+	return e, hot, p
+}
+
+func countKind(actions []Action, kind string) int {
+	n := 0
+	for _, a := range actions {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPlacerReplicatesReadHotColumn: a dominating read-hot column must gain
+// replicas on the cold sockets (the Section 4.2 replication placement,
+// created adaptively) instead of being moved or partitioned.
+func TestPlacerReplicatesReadHotColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	_, hot, p := hotOneSetup(t, 0.10, nil)
+	p.Engine.Sim.Run(0.15)
+
+	if n := countKind(p.Actions, "replicate"); n == 0 {
+		t.Fatalf("no replicate actions on a read-hot dominating column; actions: %+v", p.Actions)
+	}
+	if !hot.Replicated() {
+		t.Fatal("hot column not replicated")
+	}
+	if len(hot.ReplicaSockets) < 3 {
+		t.Fatalf("expected replicas on most sockets, got %v", hot.ReplicaSockets)
+	}
+	if hot.NumPartitions() != 1 {
+		t.Fatalf("replicated column must stay unpartitioned, has %d parts", hot.NumPartitions())
+	}
+	if p.ReplicaBytes() != hot.ExtraReplicaBytes() {
+		t.Fatalf("budget accounting %d != column metadata %d", p.ReplicaBytes(), hot.ExtraReplicaBytes())
+	}
+	if p.PeakReplicaBytes > p.Cfg.ReplicaBudgetBytes {
+		t.Fatalf("peak replica bytes %d exceed budget %d", p.PeakReplicaBytes, p.Cfg.ReplicaBudgetBytes)
+	}
+	if p.PagesCopied == 0 {
+		t.Fatal("replication should account copied pages")
+	}
+}
+
+// TestReplicaBudgetCap: with room for only one extra replica, the placer
+// must stop replicating at the cap — never exceeding it — and fall back to
+// the move/partition levers of Figure 20.
+func TestReplicaBudgetCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	e, hot, p := hotOneSetup(t, 0.10, nil)
+	// Shrink the budget before the first balancing round: room for exactly
+	// one extra copy of the hot column.
+	budget := placement.ReplicaFootprintBytes(hot) + 1024
+	p.Cfg.ReplicaBudgetBytes = budget
+	e.Sim.Run(0.15)
+
+	if n := countKind(p.Actions, "replicate"); n != 1 {
+		t.Fatalf("budget for one replica, got %d replicate actions", n)
+	}
+	if p.PeakReplicaBytes > budget {
+		t.Fatalf("peak replica bytes %d exceed budget %d", p.PeakReplicaBytes, budget)
+	}
+	if len(hot.ReplicaSockets) != 2 {
+		t.Fatalf("expected primary + one replica, got %v", hot.ReplicaSockets)
+	}
+	// The residual imbalance must still be worked on with the other levers:
+	// the budget does not stall the placer.
+	if len(p.Actions) <= 1 {
+		t.Fatalf("placer stalled after exhausting the budget; actions: %+v", p.Actions)
+	}
+}
+
+// shiftChooser queries column A hot until the shift time, column B after.
+type shiftChooser struct {
+	e       *core.Engine
+	shiftAt float64
+	a, b    int
+}
+
+func (s shiftChooser) Pick(rng *rand.Rand, columns int) int {
+	hot := s.a
+	if s.e.Sim.Now() >= s.shiftAt {
+		hot = s.b
+	}
+	if rng.Float64() < 0.95 {
+		return hot % columns
+	}
+	return rng.Intn(columns)
+}
+
+// TestStaleReplicasReclaimed: when the workload shifts away from a
+// replicated column, its traffic decays and the balanced branch must
+// garbage-collect the stale copies, returning their memory to the budget.
+func TestStaleReplicasReclaimed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	m := topology.FourSocketIvyBridge()
+	e := core.New(m, 1)
+	tbl := workload.Generate(workload.DatasetConfig{
+		Rows: 60000, Columns: 16, BitcaseMin: 12, BitcaseMax: 18, Seed: 1, Synthetic: true,
+	})
+	e.Placer.PlaceRRBlocks(tbl)
+	oldHot := tbl.Parts[0].Columns[2]
+	cfg := DefaultConfig()
+	cfg.Period = 5e-3
+	p := New(e, &Catalog{Tables: []*colstore.Table{tbl}}, cfg)
+	e.Sim.AddActor(p)
+	clients := workload.NewClients(e, tbl, workload.ClientsConfig{
+		N: 256, Selectivity: 0.10, Parallel: true, Strategy: core.Bound,
+		Chooser: shiftChooser{e: e, shiftAt: 0.15, a: 2, b: 9}, Seed: 2,
+	})
+	clients.Start()
+
+	e.Sim.Run(0.15)
+	if !oldHot.Replicated() {
+		t.Fatal("setup: hot column not replicated before the shift")
+	}
+	replicatedBytes := p.ReplicaBytes()
+
+	e.Sim.Run(0.45)
+	if countKind(p.Actions, "drop-replica") == 0 {
+		t.Fatalf("no drop-replica actions after the hotspot shifted; actions: %+v", p.Actions)
+	}
+	if oldHot.Replicated() {
+		t.Fatalf("stale replicas of %s not reclaimed: %v", oldHot.Name, oldHot.ReplicaSockets)
+	}
+	if oldHot.ExtraReplicaBytes() != 0 {
+		t.Fatalf("stale replica metadata lingers: %d bytes", oldHot.ExtraReplicaBytes())
+	}
+	if p.ReplicaBytes() >= replicatedBytes+replicatedBytes/2 {
+		t.Fatalf("replica memory did not come back down: %d then, %d now", replicatedBytes, p.ReplicaBytes())
+	}
+	if p.PeakReplicaBytes > p.Cfg.ReplicaBudgetBytes {
+		t.Fatalf("peak replica bytes %d exceed budget %d", p.PeakReplicaBytes, p.Cfg.ReplicaBudgetBytes)
+	}
+}
+
+// TestPartitionActionLabelMatchesMechanism is the regression test for the
+// action-label fix: the whole-column placer always applies the IVP
+// repartitioning mechanism, so the recorded action must say so — previously
+// dictionary-heavy items were logged as "partition-pp" while RepartitionIVP
+// ran underneath.
+func TestPartitionActionLabelMatchesMechanism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	// High selectivity makes the hot item's traffic dictionary-heavy (the
+	// condition that used to mislabel the action); replication is disabled
+	// so the dominance branch must fall through to partitioning.
+	_, hot, p := hotOneSetup(t, 0.10, func(cfg *Config) { cfg.ReplicaBudgetBytes = 0 })
+	p.Engine.Sim.Run(0.15)
+
+	parts := 0
+	for _, a := range p.Actions {
+		switch a.Kind {
+		case "partition-ivp":
+			parts++
+		case "partition-pp":
+			t.Fatalf("action labelled partition-pp but the placer only applies the IVP mechanism: %+v", a)
+		case "replicate":
+			t.Fatalf("replication disabled but replicate action recorded: %+v", a)
+		}
+	}
+	if parts == 0 {
+		t.Fatalf("dominating column was not partitioned; actions: %+v", p.Actions)
+	}
+	if hot.NumPartitions() < 2 {
+		t.Fatalf("hot column still has %d partition(s)", hot.NumPartitions())
+	}
+}

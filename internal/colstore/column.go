@@ -143,25 +143,47 @@ type Column struct {
 	// replica sockets. Empty means unreplicated; when set, the primary copy
 	// described by the ranges above lives on ReplicaSockets[0].
 	ReplicaSockets []int
+
+	// Replicas records the allocation metadata of every replica beyond the
+	// primary copy (one entry per ReplicaSockets[1:] socket, in order), so
+	// the adaptive placer can account replica memory against its budget and
+	// tear stale replicas down again (Section 7's adaptive design applied to
+	// the replication placement of Section 4.2).
+	Replicas []Replica
 }
 
-// Replicated reports whether the column has replicas.
+// Replica is the placement record of one extra replica of a column: the
+// socket it lives on and the simulated address ranges of its components.
+// It exists so replicas allocated by the adaptive placer can be freed when
+// their traffic decays (replica teardown).
+type Replica struct {
+	Socket    int
+	IVRange   memsim.Range
+	DictRange memsim.Range
+	IXRange   memsim.Range
+}
+
+// Bytes returns the page-granular simulated memory footprint of the replica.
+func (r Replica) Bytes() int64 {
+	b := (r.IVRange.Pages() + r.DictRange.Pages() + r.IXRange.Pages()) * memsim.PageSize
+	return b
+}
+
+// ExtraReplicaBytes returns the page-granular bytes consumed by the column's
+// replicas beyond the primary copy — the quantity the adaptive placer's
+// replica budget (Section 7) caps.
+func (c *Column) ExtraReplicaBytes() int64 {
+	var b int64
+	for _, r := range c.Replicas {
+		b += r.Bytes()
+	}
+	return b
+}
+
+// Replicated reports whether the column has replicas. Replica selection for
+// accesses lives in the exec layer (exec.BestReplica), which weighs access
+// latency against current memory-controller load.
 func (c *Column) Replicated() bool { return len(c.ReplicaSockets) > 1 }
-
-// NearestReplica returns the replica socket with the lowest access latency
-// from the given socket (the socket itself if it holds a replica).
-func (c *Column) NearestReplica(from int, latency func(src, dst int) float64) int {
-	if len(c.ReplicaSockets) == 0 {
-		return -1
-	}
-	best := c.ReplicaSockets[0]
-	for _, s := range c.ReplicaSockets[1:] {
-		if latency(from, s) < latency(from, best) {
-			best = s
-		}
-	}
-	return best
-}
 
 // Build dictionary-encodes values into a column. When withIndex is set, the
 // inverted index is built as well. The bitcase is the minimum width that

@@ -45,11 +45,16 @@ type Costs = exec.Costs
 func DefaultCosts() Costs { return exec.DefaultCosts() }
 
 // ItemTraffic accumulates per-data-item memory traffic, used by the adaptive
-// data placer to find hot items (Section 7).
+// data placer to find hot items (Section 7) and — via the per-socket
+// breakdown — to tell which copies of a replicated column earn their keep.
 type ItemTraffic struct {
 	Bytes     float64 // total DRAM bytes attributed to the item
 	IVBytes   float64 // bytes from scanning the indexvector
 	DictBytes float64 // bytes from dictionary/index random accesses
+	// PerSocket attributes the item's bytes to the serving socket, when the
+	// access had a single identifiable source (replica streams and probes
+	// do; interleaved-structure accesses are spread and not attributed).
+	PerSocket []float64
 }
 
 // Engine executes queries on a simulated machine.
@@ -259,13 +264,18 @@ func (e *Engine) SubmitPipeline(strategy Strategy, homeSocket int, onDone func(l
 }
 
 // addItemTraffic attributes traffic to a data item for the adaptive placer.
-func (e *Engine) addItemTraffic(item string, bytes, ivBytes, dictBytes float64) {
+// socket is the serving socket, or -1 when the access spread over several
+// sockets (interleaved structures).
+func (e *Engine) addItemTraffic(item string, socket int, bytes, ivBytes, dictBytes float64) {
 	it := e.itemTraffic[item]
 	if it == nil {
-		it = &ItemTraffic{}
+		it = &ItemTraffic{PerSocket: make([]float64, e.Machine.Sockets)}
 		e.itemTraffic[item] = it
 	}
 	it.Bytes += bytes
 	it.IVBytes += ivBytes
 	it.DictBytes += dictBytes
+	if socket >= 0 && socket < len(it.PerSocket) {
+		it.PerSocket[socket] += bytes
+	}
 }

@@ -176,18 +176,3 @@ func TestReplicationConsumesMemory(t *testing.T) {
 		t.Fatalf("4 replicas should consume >= 4x a single copy: delta %d, single %d", after-before, single)
 	}
 }
-
-func TestNearestReplica(t *testing.T) {
-	m := topology.EightSocketWestmere()
-	c := &colstore.Column{ReplicaSockets: []int{0, 5}}
-	// Socket 1 is in box A: replica 0 is 1 hop, replica 5 is cross-box.
-	if got := c.NearestReplica(1, m.Latency); got != 0 {
-		t.Fatalf("nearest from 1 = %d, want 0", got)
-	}
-	if got := c.NearestReplica(6, m.Latency); got != 5 {
-		t.Fatalf("nearest from 6 = %d, want 5", got)
-	}
-	if got := c.NearestReplica(5, m.Latency); got != 5 {
-		t.Fatalf("replica-local = %d", got)
-	}
-}

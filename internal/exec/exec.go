@@ -42,6 +42,8 @@ const (
 	Bound
 )
 
+// String returns the paper's name for the strategy (Section 6: OS, Target,
+// Bound).
 func (s Strategy) String() string {
 	switch s {
 	case OSched:
@@ -57,7 +59,12 @@ func (s Strategy) String() string {
 
 // AffinityFor applies the scheduling strategy to a natural data socket: the
 // single place task affinity and hardness are derived from a socket for every
-// operator in the system.
+// operator in the system. It encodes the Section 5.2 rule — a task's
+// affinity is the socket its input pages live on (per the PSMs) — under the
+// Section 6 strategies: OS drops the affinity, Target sets it soft, Bound
+// sets it hard. For replicated data the socket itself is chosen load-aware
+// at plan time (PartitionsWeighted, BestReplica) and then fed through here
+// like any other data socket.
 func AffinityFor(strategy Strategy, socket int) (affinity int, hard bool) {
 	if socket < 0 {
 		return -1, false
@@ -73,8 +80,9 @@ func AffinityFor(strategy Strategy, socket int) (affinity int, hard bool) {
 }
 
 // Env bundles what operators need from the engine: the simulated machine and
-// its substrates, the cost model, and the engine hooks (concurrency hint,
-// per-item traffic attribution for the adaptive placer).
+// its substrates, the cost model, and the engine hooks — the concurrency
+// hint of [28] and the per-item traffic attribution feeding the Section 7
+// adaptive data placer.
 type Env struct {
 	Machine  *topology.Machine
 	Sim      *sim.Engine
@@ -89,8 +97,11 @@ type Env struct {
 	// partitionable operation [28]. Nil means "all hardware contexts".
 	ConcurrencyHint func() int
 	// AddItemTraffic attributes DRAM traffic to a named data item for the
-	// adaptive data placer (Section 7); nil disables attribution.
-	AddItemTraffic func(item string, bytes, ivBytes, dictBytes float64)
+	// adaptive data placer (Section 7); nil disables attribution. socket is
+	// the serving socket (-1 when the access spreads over several sockets,
+	// e.g. an interleaved dictionary); per-socket attribution is what lets
+	// the placer tell which replica of a replicated column earns its keep.
+	AddItemTraffic func(item string, socket int, bytes, ivBytes, dictBytes float64)
 }
 
 // hint returns the concurrency budget.
@@ -101,10 +112,17 @@ func (env *Env) hint() int {
 	return env.Machine.TotalThreads()
 }
 
+// MCLoad returns the instantaneous per-socket memory-controller demand of
+// the simulated machine — the utilization signal replica-aware scheduling
+// weighs sockets by (see PartitionsWeighted and BestReplica).
+func (env *Env) MCLoad() []float64 {
+	return env.HW.MCLoad()
+}
+
 // addItem attributes per-item traffic when the hook is wired.
-func (env *Env) addItem(item string, bytes, ivBytes, dictBytes float64) {
+func (env *Env) addItem(item string, socket int, bytes, ivBytes, dictBytes float64) {
 	if env.AddItemTraffic != nil {
-		env.AddItemTraffic(item, bytes, ivBytes, dictBytes)
+		env.AddItemTraffic(item, socket, bytes, ivBytes, dictBytes)
 	}
 }
 
@@ -135,7 +153,9 @@ type Task struct {
 	Run func(w *sched.Worker, done func())
 }
 
-// Operator produces the tasks of one pipeline phase.
+// Operator produces the tasks of one pipeline phase — one of the
+// barrier-separated phases of Section 5.2's statement execution (find,
+// output materialization, aggregation, join build/probe).
 type Operator interface {
 	// Open is called when the operator's phase begins — every upstream
 	// operator has passed its barrier — and returns the tasks to schedule.
@@ -242,17 +262,44 @@ type RowRange struct {
 
 // Partitions returns the scheduling partitions of a placed column: one per
 // IVP partition with its majority socket, or one slice per replica for
-// replicated columns (each slice scans its own replica locally).
+// replicated columns (each slice scans its own replica locally, the row
+// space split evenly). The find-phase fan-out uses PartitionsWeighted
+// instead so replica slices track current MC utilization.
 func Partitions(col *colstore.Column) []RowRange {
+	return PartitionsWeighted(col, nil)
+}
+
+// PartitionsWeighted is Partitions with replica-aware load balancing: for a
+// replicated column, each replica's share of the row space is proportional
+// to its socket's current memory-controller headroom (mcLoad as returned by
+// Env.MCLoad; nil or unreplicated falls back to an even split). A loaded
+// socket still receives a non-zero slice — the goal is to spread scan
+// traffic across all copies (Section 4.2's replication placement), weighted
+// away from saturated memory controllers, not to abandon them.
+func PartitionsWeighted(col *colstore.Column, mcLoad []float64) []RowRange {
 	if col.Replicated() {
 		reps := col.ReplicaSockets
-		out := make([]RowRange, len(reps))
-		for ri, sock := range reps {
-			out[ri] = RowRange{
-				From:   col.Rows * ri / len(reps),
-				To:     col.Rows * (ri + 1) / len(reps),
-				Socket: sock,
+		weights := make([]float64, len(reps))
+		total := 0.0
+		for i, sock := range reps {
+			w := 1.0
+			if mcLoad != nil && sock >= 0 && sock < len(mcLoad) {
+				w = 1 / (1 + mcLoad[sock])
 			}
+			weights[i] = w
+			total += w
+		}
+		out := make([]RowRange, len(reps))
+		from := 0
+		acc := 0.0
+		for i, sock := range reps {
+			acc += weights[i]
+			to := int(float64(col.Rows)*acc/total + 0.5)
+			if i == len(reps)-1 {
+				to = col.Rows
+			}
+			out[i] = RowRange{From: from, To: to, Socket: sock}
+			from = to
 		}
 		return out
 	}
@@ -263,6 +310,66 @@ func Partitions(col *colstore.Column) []RowRange {
 		out[i] = RowRange{From: f, To: t, Socket: IVSocketForRows(col, f, t)}
 	}
 	return out
+}
+
+// BestReplica returns the replica socket a worker on src should access. A
+// worker sitting on a replica socket always uses the local copy — spreading
+// across copies happens at task fan-out (PartitionsWeighted), and a local
+// access never crosses the interconnect. A worker elsewhere picks the copy
+// minimizing access latency scaled by the serving memory controller's
+// current load (1+demand), steering toward replicas with headroom. Returns
+// -1 for an unreplicated column.
+func BestReplica(env *Env, col *colstore.Column, src int) int {
+	if len(col.ReplicaSockets) == 0 {
+		return -1
+	}
+	load := env.MCLoad()
+	best, bestCost := -1, 0.0
+	for _, s := range col.ReplicaSockets {
+		if s == src {
+			return s
+		}
+		cost := env.Machine.Latency(src, s)
+		if s >= 0 && s < len(load) {
+			cost *= 1 + load[s]
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// leastLoadedSocket picks the socket with the smallest current MC demand
+// (ties and nil load break toward the first listed socket).
+func leastLoadedSocket(sockets []int, mcLoad []float64) int {
+	if len(sockets) == 0 {
+		return -1
+	}
+	best := sockets[0]
+	for _, s := range sockets[1:] {
+		if s >= 0 && s < len(mcLoad) && best >= 0 && best < len(mcLoad) && mcLoad[s] < mcLoad[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// singleSocket returns the one socket with non-zero weight, or -1 when the
+// weights spread over several sockets (used for per-item traffic
+// attribution: spread accesses are not attributable to one copy).
+func singleSocket(weights []float64) int {
+	found := -1
+	for s, w := range weights {
+		if w == 0 {
+			continue
+		}
+		if found >= 0 {
+			return -1
+		}
+		found = s
+	}
+	return found
 }
 
 // TasksPerPartition divides a concurrency budget across partitions, rounding

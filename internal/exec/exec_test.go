@@ -111,6 +111,76 @@ func TestAffinityDerivationAcrossPlacements(t *testing.T) {
 	check("replicated", rep, []int{1, 3})
 }
 
+// TestPartitionsWeightedSpreadsByMCLoad: a replicated column's row slices
+// must shrink on loaded sockets and grow on idle ones, while still covering
+// the whole row space contiguously with every replica participating.
+func TestPartitionsWeightedSpreadsByMCLoad(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	p := placement.New(m)
+	rep := colstore.NewSynthetic("REP", 40_000, 1<<12, false)
+	p.PlaceReplicated(rep, []int{0, 2})
+
+	even := PartitionsWeighted(rep, nil)
+	if len(even) != 2 || even[0].To-even[0].From != even[1].To-even[1].From {
+		t.Fatalf("nil load must split evenly: %+v", even)
+	}
+
+	loaded := PartitionsWeighted(rep, []float64{9, 0, 0, 0}) // socket 0 saturated
+	if len(loaded) != 2 {
+		t.Fatalf("want 2 slices, got %+v", loaded)
+	}
+	if loaded[0].Socket != 0 || loaded[1].Socket != 2 {
+		t.Fatalf("slices on wrong sockets: %+v", loaded)
+	}
+	s0 := loaded[0].To - loaded[0].From
+	s2 := loaded[1].To - loaded[1].From
+	if s0 == 0 || s2 == 0 {
+		t.Fatalf("every replica must keep a slice: %+v", loaded)
+	}
+	if s0*2 >= s2 {
+		t.Fatalf("loaded socket slice %d not well below idle slice %d", s0, s2)
+	}
+	if loaded[0].From != 0 || loaded[0].To != loaded[1].From || loaded[1].To != rep.Rows {
+		t.Fatalf("slices not contiguous over the row space: %+v", loaded)
+	}
+}
+
+// TestBestReplica pins replica-choice behavior: a worker on a replica socket
+// always uses the local copy, an idle machine yields the nearest copy, and a
+// loaded memory controller diverts remote workers to the copy with headroom.
+func TestBestReplica(t *testing.T) {
+	m := topology.EightSocketWestmere()
+	s := sim.New(20e-6)
+	h := hw.New(s, m)
+	c := metrics.New(m.Sockets)
+	costs := DefaultCosts()
+	env := &Env{Machine: m, Sim: s, HW: h, Sched: sched.New(h, c), Counters: c, Costs: &costs}
+
+	col := &colstore.Column{ReplicaSockets: []int{0, 5}}
+	// Socket 1 is in box A: replica 0 is one hop, replica 5 is cross-box.
+	if got := BestReplica(env, col, 1); got != 0 {
+		t.Fatalf("idle nearest from 1 = %d, want 0", got)
+	}
+	if got := BestReplica(env, col, 6); got != 5 {
+		t.Fatalf("idle nearest from 6 = %d, want 5", got)
+	}
+	if got := BestReplica(env, col, 5); got != 5 {
+		t.Fatalf("replica-local = %d, want 5", got)
+	}
+	// Saturate MC[0]: remote workers divert to the socket-5 copy, but a
+	// worker on socket 0 still uses its local copy.
+	s.StartFlow(&sim.Flow{Remaining: 1e12, Demands: []sim.Demand{{Resource: h.MC[0], Weight: 50}}})
+	if got := BestReplica(env, col, 1); got != 5 {
+		t.Fatalf("loaded MC[0]: from 1 = %d, want 5", got)
+	}
+	if got := BestReplica(env, col, 0); got != 0 {
+		t.Fatalf("loaded MC[0]: local worker = %d, want 0", got)
+	}
+	if got := BestReplica(env, &colstore.Column{}, 1); got != -1 {
+		t.Fatalf("unreplicated column = %d, want -1", got)
+	}
+}
+
 func TestSplitRows(t *testing.T) {
 	spans := SplitRows(100, 200, 4)
 	if len(spans) != 4 {

@@ -115,9 +115,10 @@ func (j *JoinOp) runTask(env *Env, w *sched.Worker, col *colstore.Column, from, 
 	}
 	var perSocket []int64
 	if col.Replicated() {
-		// Stream from the nearest replica, matching the per-replica task
-		// affinities Partitions derives for replicated columns.
-		rep := col.NearestReplica(src, env.Machine.Latency)
+		// Stream from the replica with the most MC headroom, matching the
+		// per-replica task affinities Partitions derives for replicated
+		// columns.
+		rep := BestReplica(env, col, src)
 		perSocket = make([]int64, rep+1)
 		perSocket[rep] = bytes
 	} else {

@@ -156,12 +156,14 @@ func runMaterialize(env *Env, w *sched.Worker, col *colstore.Column, m int, onDo
 	src := w.Socket()
 	var dstWeights []float64
 	if col.Replicated() {
-		// Probe the nearest dictionary replica.
+		// Probe the dictionary replica with the most MC headroom (the
+		// nearest one on an idle machine).
 		dstWeights = make([]float64, env.Machine.Sockets)
-		dstWeights[col.NearestReplica(src, env.Machine.Latency)] = 1
+		dstWeights[BestReplica(env, col, src)] = 1
 	} else {
 		dstWeights = ComponentWeights(env.Machine.Sockets, col.DictPSM)
 	}
+	attrSocket := singleSocket(dstWeights)
 	demands, rateCap, lt := env.HW.RandomDemands(src, dstWeights, w.CoreRes,
 		env.Costs.MatCyclesPerAccess, env.Costs.OutBytesPerMatch, env.Costs.MatMissRate)
 	if !w.Bound {
@@ -176,7 +178,7 @@ func runMaterialize(env *Env, w *sched.Worker, col *colstore.Column, m int, onDo
 			bytes := p * topology.CacheLine * miss
 			env.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
 			env.Counters.AddCompute(src, p*env.Costs.MatInstrPerAccess, 0)
-			env.addItem(col.Name, bytes+p*env.Costs.OutBytesPerMatch, 0, bytes)
+			env.addItem(col.Name, attrSocket, bytes+p*env.Costs.OutBytesPerMatch, 0, bytes)
 		},
 		OnDone: onDone,
 	})
@@ -249,7 +251,7 @@ func (a *AggregateOp) runAggregate(env *Env, w *sched.Worker, col *colstore.Colu
 		OnAdvance: func(p float64) {
 			env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
 			env.Counters.AddCompute(src, p*cpb*0.8, 0)
-			env.addItem(col.Name, p, p, 0)
+			env.addItem(col.Name, dst, p, p, 0)
 		},
 		OnDone: onDone,
 	})

@@ -1,0 +1,59 @@
+package exec_test
+
+// Engine-level test for replica-aware scheduling: under sustained load, the
+// scan fan-out over a replicated column must distribute tasks (and thus MC
+// traffic) across all replica sockets, not pile onto the primary copy.
+
+import (
+	"testing"
+
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/topology"
+)
+
+func TestScanTasksDistributeAcrossReplicas(t *testing.T) {
+	e := core.New(topology.FourSocketIvyBridge(), 1)
+	c := colstore.NewSynthetic("HOT", 120_000, 1<<14, false)
+	tbl := colstore.NewTable("TBL", []*colstore.Column{c})
+	// Replicas on sockets 0 and 2 only; sockets 1 and 3 hold no copy.
+	e.Placer.PlaceReplicated(c, []int{0, 2})
+
+	done := 0
+	var submit func()
+	submit = func() {
+		e.Submit(&core.Query{
+			Table: tbl, Column: "HOT", Selectivity: 0.001,
+			Parallel: true, Strategy: core.Bound, HomeSocket: done % 4,
+			OnDone: func(float64) { done++; submit() },
+		})
+	}
+	for i := 0; i < 128; i++ {
+		submit()
+	}
+	e.Sim.Run(0.1)
+
+	if done == 0 {
+		t.Fatal("no queries completed")
+	}
+	mc := e.Counters.MCBytes
+	if mc[0] == 0 || mc[2] == 0 {
+		t.Fatalf("a replica socket served nothing: %v", mc)
+	}
+	// Both copies must carry comparable load: the weighted fan-out steers
+	// toward headroom, so neither replica may dominate.
+	hi, lo := mc[0], mc[2]
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if hi > 3*lo {
+		t.Fatalf("replica load imbalance: %v", mc)
+	}
+	// Non-replica sockets see only output writes and background, far below
+	// the replica sockets' scan streams.
+	for _, s := range []int{1, 3} {
+		if mc[s] > lo/2 {
+			t.Fatalf("socket %d without a replica carries scan load: %v", s, mc)
+		}
+	}
+}

@@ -57,10 +57,14 @@ func (s *ScanOp) jitterMatches(env *Env, rows int) int {
 
 // scanTask is one planned find-phase task.
 type scanTask struct {
-	col       *colstore.Column
-	rowFrom   int
-	rowTo     int
-	region    int // -1 for extra predicate columns
+	col     *colstore.Column
+	rowFrom int
+	rowTo   int
+	region  int // -1 for extra predicate columns
+	// socket is the data socket resolved at plan time (replica-aware), kept
+	// on the task so replica slices and extra-predicate tasks retain their
+	// placement even when no region is tracked.
+	socket    int
 	indexTask bool
 	// allCols, when set, makes this a single unparallelized task that scans
 	// every physical part sequentially — with parallelism disabled, one task
@@ -76,6 +80,10 @@ type scanTask struct {
 func (s *ScanOp) Open(p *Pipeline) []Task {
 	env := p.Env
 	s.regions = s.regions[:0] // support operator reuse across pipelines
+	// One MC-load snapshot per plan: every replica-socket decision of this
+	// statement sees the same instant (recomputing per column would walk all
+	// active flows repeatedly for no added signal).
+	mcLoad := env.MCLoad()
 	useIndex := false
 	if s.UseIndex && s.Selectivity <= env.Costs.IndexSelectivityThreshold {
 		if c := s.Table.Parts[0].ColumnByName(s.Column); c != nil && c.Idx != nil {
@@ -96,14 +104,15 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 				cols = append(cols, c)
 				rows += c.Rows
 			}
+			socket := cols[0].IVPSM.MajoritySocket()
 			region := -1
 			if trackRegions {
 				region = len(s.regions)
 				s.regions = append(s.regions, Region{
-					Col: cols[0], Part: s.Table.Parts[0], Socket: cols[0].IVPSM.MajoritySocket(),
+					Col: cols[0], Part: s.Table.Parts[0], Socket: socket,
 				})
 			}
-			tasks = append(tasks, scanTask{col: cols[0], rowFrom: 0, rowTo: rows, region: region, allCols: cols})
+			tasks = append(tasks, scanTask{col: cols[0], rowFrom: 0, rowTo: rows, region: region, socket: socket, allCols: cols})
 			return
 		}
 		for _, part := range s.Table.Parts {
@@ -112,29 +121,44 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 				panic(fmt.Sprintf("exec: no column %s", colName))
 			}
 			if useIndex {
+				// Index lookups on a replicated column chase the replica with
+				// the most MC headroom; otherwise the IX's own socket.
+				socket := IndexSocket(col)
+				if col.Replicated() {
+					socket = leastLoadedSocket(col.ReplicaSockets, mcLoad)
+				}
 				region := -1
 				if trackRegions {
 					region = len(s.regions)
-					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: IndexSocket(col)})
+					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: socket})
 				}
-				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region, indexTask: true})
+				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region, socket: socket, indexTask: true})
 				continue
 			}
 			if !s.Parallel {
 				// Single task spanning everything; region socket is the IV
-				// majority socket.
+				// majority socket — except for a replicated column, where any
+				// replica serves the whole scan locally: the task goes to the
+				// replica socket with the most MC headroom (the Figure 10
+				// single-task remote-access penalty is exactly what
+				// replication removes).
+				socket := col.IVPSM.MajoritySocket()
+				if col.Replicated() {
+					socket = leastLoadedSocket(col.ReplicaSockets, mcLoad)
+				}
 				region := -1
 				if trackRegions {
 					region = len(s.regions)
-					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: col.IVPSM.MajoritySocket()})
+					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: socket})
 				}
-				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region})
+				tasks = append(tasks, scanTask{col: col, rowFrom: 0, rowTo: col.Rows, region: region, socket: socket})
 				continue
 			}
 			// Tasks per partition: the concurrency hint rounded up to a
 			// multiple of the scheduling partitions (IVP partitions, or
 			// replicas for a replicated column) so each task's range lies
-			// wholly in one partition.
+			// wholly in one partition. Replica slices are weighted by current
+			// MC utilization so loaded sockets receive less of the fan-out.
 			hint := env.hint()
 			if s.Table.NumParts() > 1 {
 				hint = hint / s.Table.NumParts()
@@ -142,7 +166,7 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 					hint = 1
 				}
 			}
-			parts := Partitions(col)
+			parts := PartitionsWeighted(col, mcLoad)
 			per := TasksPerPartition(hint, len(parts))
 			for _, pr := range parts {
 				region := -1
@@ -151,7 +175,7 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: pr.Socket})
 				}
 				for _, span := range SplitRows(pr.From, pr.To, per) {
-					tasks = append(tasks, scanTask{col: col, rowFrom: span[0], rowTo: span[1], region: region})
+					tasks = append(tasks, scanTask{col: col, rowFrom: span[0], rowTo: span[1], region: region, socket: pr.Socket})
 				}
 			}
 		}
@@ -168,14 +192,9 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 		if st.region >= 0 {
 			s.regions[st.region].Matches += m
 		}
-		var socket int
-		if st.region >= 0 {
-			socket = s.regions[st.region].Socket
-		} else if st.indexTask {
-			socket = IndexSocket(st.col)
-		} else {
-			socket = IVSocketForRows(st.col, st.rowFrom, st.rowTo)
-		}
+		// The data socket was resolved at plan time (replica-aware); tracked
+		// regions carry the same socket for the downstream output phase.
+		socket := st.socket
 		run := func(w *sched.Worker, done func()) {
 			s.runScan(env, w, st.col, st.rowFrom, st.rowTo, m, done)
 		}
@@ -246,8 +265,9 @@ func (s *ScanOp) runScan(env *Env, w *sched.Worker, col *colstore.Column, from, 
 	}
 	var perSocket []int64
 	if col.Replicated() {
-		// Stream from the nearest replica instead of the primary copy.
-		rep := col.NearestReplica(w.Socket(), env.Machine.Latency)
+		// Stream from the replica with the most MC headroom (the nearest one
+		// when the machine is idle) instead of the primary copy.
+		rep := BestReplica(env, col, w.Socket())
 		perSocket = make([]int64, rep+1)
 		perSocket[rep] = offTo - offFrom
 	} else {
@@ -285,7 +305,7 @@ func (s *ScanOp) runScan(env *Env, w *sched.Worker, col *colstore.Column, from, 
 			OnAdvance: func(p float64) {
 				env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
 				env.Counters.AddCompute(src, p*env.Costs.ScanInstrPerByte, 0)
-				env.addItem(col.Name, p, p, 0)
+				env.addItem(col.Name, dst, p, p, 0)
 			},
 		}
 		flows = append(flows, fl)
@@ -299,6 +319,12 @@ func (s *ScanOp) runIndexLookup(env *Env, w *sched.Worker, col *colstore.Column,
 	src := w.Socket()
 	accesses := float64(matches)*env.Costs.IndexAccessesPerMatch + 16
 	dstWeights := ComponentWeights(env.Machine.Sockets, col.IXPSM)
+	if col.Replicated() {
+		// Chase the index replica with the most MC headroom.
+		dstWeights = make([]float64, env.Machine.Sockets)
+		dstWeights[BestReplica(env, col, src)] = 1
+	}
+	attrSocket := singleSocket(dstWeights)
 	demands, rateCap, lt := env.HW.RandomDemands(src, dstWeights, w.CoreRes,
 		env.Costs.IdxCyclesPerAccess, 4, env.Costs.IdxMissRate)
 	if !w.Bound {
@@ -313,7 +339,7 @@ func (s *ScanOp) runIndexLookup(env *Env, w *sched.Worker, col *colstore.Column,
 			bytes := p * topology.CacheLine * miss
 			env.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
 			env.Counters.AddCompute(src, p*env.Costs.MatInstrPerAccess/2, 0)
-			env.addItem(col.Name, bytes, 0, bytes)
+			env.addItem(col.Name, attrSocket, bytes, 0, bytes)
 		},
 		OnDone: onDone,
 	})

@@ -130,6 +130,9 @@ func init() {
 	register(Experiment{ID: "adaptive", Title: "Adaptive data placement (Section 7)",
 		Description: "A skewed workload on RR placement, static vs with the adaptive data placer balancing socket utilization.",
 		Run:         runAdaptive})
+	register(Experiment{ID: "adaptive-repl", Title: "Adaptive replication of read-hot columns (Sections 4.2 + 7)",
+		Description: "A read-hot single-column skew of unparallelized scans, balanced by the adaptive placer with and without the replication lever: moving only relocates the hotspot and partitioning forces single-task scans remote (Figure 10), while a replica on every socket serves each scan locally; throughput and QPI traffic tracked over virtual time.",
+		Run:         runAdaptiveRepl})
 	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
 		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
 		Run:         runStarJoin})

@@ -171,22 +171,101 @@ func (p *Placer) PlaceIVP(c *colstore.Column, sockets []int) {
 // Section 4.2 ("one can replicate some or all components of a column on a
 // few sockets, at the expense of memory"). Simulated memory is allocated for
 // every replica, so the footprint really multiplies; the scheduler then
-// sends each scan task to its nearest replica.
+// spreads scan tasks across the replica sockets.
 func (p *Placer) PlaceReplicated(c *colstore.Column, sockets []int) {
 	if len(sockets) == 0 {
 		panic("placement: replication needs at least one socket")
 	}
 	p.PlaceColumnOnSocket(c, sockets[0])
-	// Allocate (and track) the extra replicas; the engine only needs their
-	// existence and location, so the ranges live on the allocator alone.
+	c.ReplicaSockets = []int{sockets[0]}
+	c.Replicas = nil
 	for _, s := range sockets[1:] {
-		p.Alloc.Alloc(c.IVBytes(), memsim.OnSocket(s))
-		p.Alloc.Alloc(c.DictBytes(), memsim.OnSocket(s))
-		if c.Idx != nil {
-			p.Alloc.Alloc(c.Idx.SizeBytes(), memsim.OnSocket(s))
+		p.AddReplica(c, s)
+	}
+}
+
+// ReplicaFootprintBytes returns the page-granular simulated memory one extra
+// replica of the column will consume — the amount AddReplica allocates and
+// the adaptive placer charges against Config.ReplicaBudgetBytes before
+// deciding to replicate.
+func ReplicaFootprintBytes(c *colstore.Column) int64 {
+	pages := func(bytes int64) int64 { return (bytes + memsim.PageSize - 1) / memsim.PageSize }
+	b := pages(c.IVBytes()) + pages(c.DictBytes())
+	if c.Idx != nil {
+		b += pages(c.Idx.SizeBytes())
+	}
+	return b * memsim.PageSize
+}
+
+// AddReplica allocates one extra full replica (IV + dictionary + IX) of a
+// placed column on the given socket, records its metadata on the column, and
+// returns the page-granular bytes consumed (0 when the socket already holds
+// a copy). This is the grow half of the adaptive replication lever of
+// Section 7: read-hot columns gain copies on cold sockets so every socket's
+// memory controller can serve them. The column must be placed and
+// unpartitioned; the primary copy keeps the column's own ranges.
+func (p *Placer) AddReplica(c *colstore.Column, socket int) int64 {
+	if c.IVPSM == nil {
+		panic("placement: AddReplica on an unplaced column")
+	}
+	if c.NumPartitions() != 1 {
+		panic("placement: AddReplica on a partitioned column")
+	}
+	if len(c.ReplicaSockets) == 0 {
+		primary := c.IVPSM.MajoritySocket()
+		if primary < 0 {
+			primary = 0
+		}
+		c.ReplicaSockets = []int{primary}
+	}
+	for _, s := range c.ReplicaSockets {
+		if s == socket {
+			return 0
 		}
 	}
-	c.ReplicaSockets = append([]int(nil), sockets...)
+	r := colstore.Replica{
+		Socket:    socket,
+		IVRange:   p.Alloc.Alloc(c.IVBytes(), memsim.OnSocket(socket)),
+		DictRange: p.Alloc.Alloc(c.DictBytes(), memsim.OnSocket(socket)),
+	}
+	if c.Idx != nil {
+		r.IXRange = p.Alloc.Alloc(c.Idx.SizeBytes(), memsim.OnSocket(socket))
+	}
+	c.Replicas = append(c.Replicas, r)
+	c.ReplicaSockets = append(c.ReplicaSockets, socket)
+	return r.Bytes()
+}
+
+// DropReplica frees the column's replica on the given socket and returns the
+// page-granular bytes reclaimed (0 when the socket holds no extra replica).
+// The primary copy (ReplicaSockets[0]) cannot be dropped. When the last
+// extra replica goes, the column reverts to an ordinary single-copy
+// placement. This is the teardown half of the Section 7 replica
+// lifecycle: the adaptive placer garbage-collects copies whose traffic has
+// decayed.
+func (p *Placer) DropReplica(c *colstore.Column, socket int) int64 {
+	for i, r := range c.Replicas {
+		if r.Socket != socket {
+			continue
+		}
+		p.Alloc.Free(r.IVRange)
+		p.Alloc.Free(r.DictRange)
+		if r.IXRange.Bytes > 0 {
+			p.Alloc.Free(r.IXRange)
+		}
+		c.Replicas = append(c.Replicas[:i], c.Replicas[i+1:]...)
+		for j, s := range c.ReplicaSockets {
+			if j > 0 && s == socket {
+				c.ReplicaSockets = append(c.ReplicaSockets[:j], c.ReplicaSockets[j+1:]...)
+				break
+			}
+		}
+		if len(c.ReplicaSockets) == 1 {
+			c.ReplicaSockets = nil
+		}
+		return r.Bytes()
+	}
+	return 0
 }
 
 // PlaceTableIVP applies IVP to every column of a single-part table across

@@ -133,6 +133,43 @@ func (e *Engine) ResourceUsage(id ResourceID) float64 { return e.usage[id] }
 // NumResources returns the number of registered resources.
 func (e *Engine) NumResources() int { return len(e.caps) }
 
+// ActiveDemand sums the demand weight currently-active flows place on each of
+// the given resources, returning one total per id in order. It is an
+// instantaneous utilization probe — unlike ResourceUsage, which is
+// cumulative — and is what replica-aware scheduling weighs sockets by.
+func (e *Engine) ActiveDemand(ids []ResourceID) []float64 {
+	out := make([]float64, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	lo, hi := ids[0], ids[0]
+	for _, id := range ids {
+		if id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
+	}
+	idx := make([]int, hi-lo+1)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, id := range ids {
+		idx[id-lo] = i
+	}
+	for _, f := range e.flows {
+		for _, d := range f.Demands {
+			if d.Resource >= lo && d.Resource <= hi {
+				if i := idx[d.Resource-lo]; i >= 0 {
+					out[i] += d.Weight
+				}
+			}
+		}
+	}
+	return out
+}
+
 // AddActor registers an actor ticked each step, in registration order.
 func (e *Engine) AddActor(a Actor) { e.actors = append(e.actors, a) }
 

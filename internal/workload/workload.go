@@ -110,6 +110,24 @@ func (s SkewedChoice) Pick(rng *rand.Rand, columns int) int {
 	return rng.Intn(half) // cold: first half
 }
 
+// HotColumnChoice concentrates the workload on a single column: with
+// probability P a client queries column Hot, otherwise a uniformly random
+// column. This is the read-hot single-item skew that the adaptive
+// replication experiment uses — one column dominates its socket, so the
+// Section 7 placer must partition or replicate it rather than move it.
+type HotColumnChoice struct {
+	Hot int     // index of the hot column
+	P   float64 // probability of querying it
+}
+
+// Pick implements Chooser.
+func (h HotColumnChoice) Pick(rng *rand.Rand, columns int) int {
+	if rng.Float64() < h.P {
+		return h.Hot % columns
+	}
+	return rng.Intn(columns)
+}
+
 // ClientsConfig configures the closed-loop client population.
 type ClientsConfig struct {
 	N           int

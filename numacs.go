@@ -250,11 +250,17 @@ type ClientsConfig = workload.ClientsConfig
 // Clients drives closed-loop scan clients.
 type Clients = workload.Clients
 
+// Chooser picks the column a client queries.
+type Chooser = workload.Chooser
+
 // UniformChoice picks query columns uniformly.
 type UniformChoice = workload.UniformChoice
 
 // SkewedChoice picks query columns with the paper's 80/20 skew.
 type SkewedChoice = workload.SkewedChoice
+
+// HotColumnChoice concentrates queries on a single read-hot column.
+type HotColumnChoice = workload.HotColumnChoice
 
 // GenerateDataset builds the synthetic table.
 func GenerateDataset(cfg DatasetConfig) *Table { return workload.Generate(cfg) }
