@@ -1,0 +1,162 @@
+// mixed_readwrite walks the write-path lifecycle of the main/delta
+// architecture end to end: writers append into a hot column's per-socket
+// delta fragments while scan clients keep querying it, scan throughput
+// degrades as the uncompressed delta grows, the write-aware adaptive placer
+// fires a background merge that folds the delta into a rebuilt
+// dictionary-encoded main, and throughput recovers. A replicated second
+// column turns write-hot and the placer's write-guard reclaims its copies.
+//
+// The simulated lifecycle is preceded by a small functional demo on a real
+// (non-synthetic) column: inserts and updates land in the delta, a union
+// scan sees them immediately, and the merge preserves the exact match
+// counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"numacs"
+)
+
+// twoColumnWrites sends most writes to the hot scanned column and the rest
+// to the replicated one (turning it write-hot).
+type twoColumnWrites struct {
+	hot, warm int
+	pHot      float64
+}
+
+// Pick implements numacs.Chooser.
+func (c twoColumnWrites) Pick(rng *rand.Rand, columns int) int {
+	if rng.Float64() < c.pHot {
+		return c.hot % columns
+	}
+	return c.warm % columns
+}
+
+// functionalDemo shows the delta kernels on real data: append, union-scan,
+// merge, verify.
+func functionalDemo() {
+	fmt.Println("functional kernels (real data)")
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 10_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	col := numacs.BuildColumn("DEMO", vals, false)
+	machine := numacs.FourSocketIvyBridge()
+	engine := numacs.NewEngine(machine, 1)
+	engine.Placer.PlaceColumnOnSocket(col, 0)
+
+	before := col.CountMatchesWithDelta(100, 199)
+	// Writes from clients on different sockets: each lands in its socket's
+	// fragment.
+	engine.ApplyInsert(col, 1, 150) // in range: +1 match
+	engine.ApplyInsert(col, 2, 950) // out of range
+	row := -1
+	for r := 0; r < col.Rows; r++ {
+		if v := col.Value(r); v >= 100 && v <= 199 {
+			row = r
+			break
+		}
+	}
+	engine.ApplyUpdate(col, 3, row, 5000) // moves a matching row out of range: -1 match
+	after := col.CountMatchesWithDelta(100, 199)
+	fmt.Printf("  matches in [100,199]: %d before writes, %d after (+1 insert, -1 update)\n", before, after)
+
+	mergedRows, _ := engine.Placer.MergeDelta(col, col.Delta.Snapshot())
+	mainOnly := col.CountMatchesWithDelta(100, 199) // delta is empty now
+	fmt.Printf("  merge folded %d delta rows; main-only count: %d (rows %d -> %d)\n\n",
+		mergedRows, mainOnly, len(vals), col.Rows)
+	if mainOnly != after {
+		panic("merge changed the query result")
+	}
+}
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 120_000, "rows per column")
+		clients = flag.Int("clients", 256, "concurrent scan clients")
+		horizon = flag.Float64("horizon", 0.26, "total virtual time (s)")
+		wfrac   = flag.Float64("update-fraction", 0.8, "fraction of writes that are updates")
+	)
+	flag.Parse()
+
+	functionalDemo()
+
+	machine := numacs.FourSocketIvyBridge()
+	engine := numacs.NewEngine(machine, 1)
+	table := numacs.GenerateDataset(numacs.DatasetConfig{
+		Rows: *rows, Columns: 16, BitcaseMin: 12, BitcaseMax: 18,
+		Seed: 1, Synthetic: true,
+	})
+	engine.Placer.PlaceRRBlocks(table) // four columns per socket
+	hot := table.Parts[0].Columns[2]   // socket 0
+	repl := table.Parts[0].Columns[5]  // socket 1, replicated below
+	engine.Placer.AddReplica(repl, 2)
+	engine.Placer.AddReplica(repl, 3)
+
+	const windows = 13
+	window := *horizon / windows
+	cfg := numacs.DefaultAdaptiveConfig()
+	cfg.Period = window / 4
+	cfg.ImbalanceRatio = 1e9        // isolate the write-path levers
+	cfg.StaleReplicaFraction = 1e-9 // replicas live until the write-guard fires
+	cfg.MergeDeltaFraction = 0.4
+	cfg.WriteHotFraction = 0.001 // scaled to the compressed virtual horizon
+	placer := numacs.NewAdaptivePlacer(engine, &numacs.Catalog{Tables: []*numacs.Table{table}}, cfg)
+	engine.Sim.AddActor(placer)
+
+	// Scans: 80% on the hot column, a warm share on the replicated one.
+	cl := numacs.NewClients(engine, table, numacs.ClientsConfig{
+		N: *clients, Selectivity: 0.00001, Parallel: true,
+		Strategy: numacs.Bound, Chooser: numacs.HotColumnChoice{Hot: 2, P: 0.8}, Seed: 2,
+	})
+	cl.Start()
+
+	// Writes during the middle windows: update-heavy, 80% on the hot column,
+	// 20% on the replicated one (turning it write-hot), appended from
+	// socket-0 writers so the delta contends with the hot column's scans.
+	writeStart, writeStop := 4*window, 9*window
+	rate := cfg.MergeDeltaFraction * float64(hot.IVBytes()) / 12 / (3.2 * window) / 0.8
+	writers := numacs.NewWriters(engine, table, numacs.WritersConfig{
+		Rate: rate, UpdateFraction: *wfrac,
+		Chooser: twoColumnWrites{hot: 2, warm: 5, pHot: 0.8},
+		Sockets: []int{0},
+		Start:   writeStart, Stop: writeStop, Seed: 5,
+	})
+	engine.Sim.AddActor(writers)
+
+	fmt.Printf("mixed read/write lifecycle (%d clients, writes during windows 5-9 at %.0f rows/s)\n\n", *clients, rate)
+	fmt.Printf("%-12s  %12s  %11s  %7s  %s\n", "window", "TP (q/min)", "delta KiB", "copies", "phase")
+	for w := 0; w < windows; w++ {
+		engine.Counters.Reset()
+		engine.Sim.Run(float64(w+1) * window)
+		phase := "read-only"
+		switch {
+		case float64(w)*window >= writeStop:
+			phase = "recovered"
+		case float64(w+1)*window > writeStart && float64(w)*window < writeStop:
+			phase = "writing"
+		}
+		copies := 1 + len(repl.Replicas)
+		fmt.Printf("%5.0f-%3.0f ms  %12.0f  %11.1f  %7d  %s\n",
+			float64(w)*window*1e3, float64(w+1)*window*1e3,
+			engine.Counters.ThroughputQPM(window), float64(hot.DeltaBytes())/1024, copies, phase)
+	}
+
+	fmt.Printf("\nwrite mix applied: %d inserts, %d updates; merges completed: %d (hot column now %d rows)\n",
+		writers.Inserts, writers.Updates, engine.MergesCompleted, hot.Rows)
+	fmt.Println("placer decisions:")
+	for _, a := range placer.Actions {
+		switch a.Kind {
+		case "merge":
+			fmt.Printf("  t=%6.1fms  merge        %-8s fold %d KiB into the main on S%d\n", a.Time*1e3, a.Column, a.Bytes>>10, a.To+1)
+		case "drop-replica":
+			fmt.Printf("  t=%6.1fms  drop-replica %-8s - copy on S%d (write-hot, %d KiB freed)\n", a.Time*1e3, a.Column, a.From+1, a.Bytes>>10)
+		default:
+			fmt.Printf("  t=%6.1fms  %-12s %-8s\n", a.Time*1e3, a.Kind, a.Column)
+		}
+	}
+}

@@ -88,6 +88,27 @@ type Config struct {
 	// column's even per-copy share over the last period — the copy no
 	// longer earns its keep.
 	StaleReplicaFraction float64
+
+	// WriteHotFraction is the write-guard's reclaim threshold: a replicated
+	// column is write-hot when its last-period write traffic touches at
+	// least this fraction of one replica's footprint — the rate at which
+	// every copy goes stale (each write must reach all copies, and the next
+	// merge rebuilds every replica in full). A write-hot column's extra
+	// replicas are dropped: the update-rate concern that prices replication
+	// out in Section 7. Independently of this threshold, a column with ANY
+	// nonzero recent write traffic is never newly replicated.
+	WriteHotFraction float64
+	// MergeDeltaFraction is the size-based merge trigger: a background merge
+	// starts when a column's delta bytes reach this fraction of its main IV
+	// bytes. Negative disables merging entirely; zero means default.
+	MergeDeltaFraction float64
+	// MergeTrafficFraction is the scan-slowdown merge trigger: merge when
+	// the delta's share of the column's scan bytes over the last period
+	// (delta / (IV + delta)) exceeds this fraction — the delta is slowing
+	// scans down even if it is still small relative to the main. A column
+	// that is scanned but received no writes over the whole period is merged
+	// unconditionally (folding a write-cold delta is pure win).
+	MergeTrafficFraction float64
 }
 
 // DefaultReplicaBudgetBytes is the default replica budget: 1/16 of the
@@ -105,11 +126,15 @@ func DefaultConfig() Config {
 		ReplicaBudgetBytes:   DefaultReplicaBudgetBytes,
 		ReadHotFraction:      0.5,
 		StaleReplicaFraction: 0.1,
+		WriteHotFraction:     0.02,
+		MergeDeltaFraction:   0.25,
+		MergeTrafficFraction: 0.5,
 	}
 }
 
 // Action records one placement decision, for observability and tests. Kind
-// is one of "move", "partition-ivp", "replicate", "drop-replica", "shrink".
+// is one of "move", "partition-ivp", "replicate", "drop-replica", "shrink",
+// "merge".
 type Action struct {
 	Time   float64
 	Kind   string
@@ -118,7 +143,7 @@ type Action struct {
 	To     int
 	Parts  int
 	// Bytes is the replica memory allocated ("replicate") or reclaimed
-	// ("drop-replica").
+	// ("drop-replica"), or the delta bytes being folded ("merge").
 	Bytes int64
 }
 
@@ -171,6 +196,15 @@ func New(e *core.Engine, cat *Catalog, cfg Config) *Placer {
 	if cfg.StaleReplicaFraction == 0 {
 		cfg.StaleReplicaFraction = def.StaleReplicaFraction
 	}
+	if cfg.WriteHotFraction == 0 {
+		cfg.WriteHotFraction = def.WriteHotFraction
+	}
+	if cfg.MergeDeltaFraction == 0 {
+		cfg.MergeDeltaFraction = def.MergeDeltaFraction
+	}
+	if cfg.MergeTrafficFraction == 0 {
+		cfg.MergeTrafficFraction = def.MergeTrafficFraction
+	}
 	if cfg.MaxPartitions == 0 {
 		cfg.MaxPartitions = e.Machine.Sockets
 	}
@@ -203,6 +237,17 @@ func (p *Placer) Tick(now float64) {
 	p.lastRun = now
 	e := p.Engine
 
+	// Resync the replica-memory accounting with the catalog: a background
+	// merge completing between rounds rebuilds replicas at the merged size
+	// (placement.MergeDelta), changing their footprint out of band.
+	p.replicaBytes = 0
+	for _, col := range p.Catalog.Columns() {
+		p.replicaBytes += col.ExtraReplicaBytes()
+	}
+	if p.replicaBytes > p.PeakReplicaBytes {
+		p.PeakReplicaBytes = p.replicaBytes
+	}
+
 	// Per-socket utilization over the last period, from the MC byte
 	// counters (the paper reads hardware counters here).
 	cur := e.HW.MCUtilization()
@@ -224,11 +269,77 @@ func (p *Placer) Tick(now float64) {
 		// replicas) untouched rather than churn on a workload gap.
 		return
 	}
+	// Write-side levers run every round, independent of balance: the
+	// write-guard reclaims replicas of write-hot columns, and the merge
+	// heuristics fold grown deltas back into the main.
+	p.reclaimWriteHot(now, traffic)
+	p.triggerMerges(now, traffic)
 	if delta[hot] > p.Cfg.ImbalanceRatio*maxf(delta[cold], total/float64(len(delta))/4) {
 		p.rebalance(now, hot, cold, delta[hot], traffic)
 		return
 	}
 	p.shrinkCold(now, traffic, total/float64(len(delta)))
+}
+
+// reclaimWriteHot is the drop half of the write-guard: every replicated
+// column whose last-period write traffic touches at least
+// Config.WriteHotFraction of one replica's footprint loses all extra
+// replicas — each copy would have to absorb every write and the next merge
+// rebuilds every copy in full, so replication no longer pays (the Section 7
+// update-rate concern).
+func (p *Placer) reclaimWriteHot(now float64, traffic map[string]*core.ItemTraffic) {
+	for _, col := range p.Catalog.Columns() {
+		if !col.Replicated() {
+			continue
+		}
+		it := traffic[col.Name]
+		if it == nil || it.WriteBytes <= 0 ||
+			it.WriteBytes < p.Cfg.WriteHotFraction*float64(placement.ReplicaFootprintBytes(col)) {
+			continue
+		}
+		for len(col.ReplicaSockets) > 1 {
+			s := col.ReplicaSockets[len(col.ReplicaSockets)-1]
+			freed := p.Engine.Placer.DropReplica(col, s)
+			p.replicaBytes -= freed
+			p.Actions = append(p.Actions, Action{Time: now, Kind: "drop-replica", Column: col.Name, From: s, Bytes: freed})
+		}
+	}
+}
+
+// triggerMerges fires the background merge for every column whose delta has
+// outgrown one of the heuristics: the size trigger (delta bytes vs main IV
+// bytes), the scan-slowdown trigger (the delta's share of last-period scan
+// bytes), or the write-cold cleanup (scanned, non-empty delta, zero writes —
+// folding is pure win). The merge itself runs asynchronously
+// (core.Engine.StartMerge); its completion swaps in the rebuilt main.
+func (p *Placer) triggerMerges(now float64, traffic map[string]*core.ItemTraffic) {
+	if p.Cfg.MergeDeltaFraction < 0 {
+		return
+	}
+	for _, col := range p.Catalog.Columns() {
+		d := col.Delta
+		if d == nil || d.Merging() || d.Rows() == 0 {
+			continue
+		}
+		deltaBytes := d.SizeBytes()
+		fire := float64(deltaBytes) >= p.Cfg.MergeDeltaFraction*float64(col.IVBytes())
+		if it := traffic[col.Name]; !fire && it != nil && it.DeltaBytes > 0 {
+			if scanBytes := it.IVBytes + it.DeltaBytes; it.DeltaBytes >= p.Cfg.MergeTrafficFraction*scanBytes {
+				fire = true // the delta is slowing scans down
+			}
+			if it.WriteBytes == 0 {
+				fire = true // write-cold cleanup
+			}
+		}
+		if !fire {
+			continue
+		}
+		started, target, _ := p.Engine.StartMerge(col, nil)
+		if !started {
+			continue
+		}
+		p.Actions = append(p.Actions, Action{Time: now, Kind: "merge", Column: col.Name, From: -1, To: target, Bytes: deltaBytes})
+	}
 }
 
 // rebalance implements the unbalanced branch of the flowchart: replicate a
@@ -329,6 +440,13 @@ func (p *Placer) tryReplicate(now float64, col *colstore.Column, it *core.ItemTr
 		return false
 	}
 	if it == nil || it.Bytes <= 0 || it.Bytes < p.Cfg.DominanceFraction*hotBytes {
+		return false
+	}
+	if it.WriteBytes > 0 {
+		// Write-guard: any nonzero recent write traffic disqualifies the
+		// column — every replica would have to absorb every write, so the
+		// copies could never pay for themselves (Section 7's update-rate
+		// concern pricing replication out).
 		return false
 	}
 	if reads := it.IVBytes + it.DictBytes; reads < p.Cfg.ReadHotFraction*it.Bytes {

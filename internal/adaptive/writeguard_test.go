@@ -1,0 +1,124 @@
+package adaptive
+
+// Tests for the write-aware side of the Section 7 placer: the write-guard
+// (no new replicas for written columns, write-hot replicas reclaimed) and
+// the delta-size merge trigger.
+
+import (
+	"testing"
+
+	"numacs/internal/workload"
+)
+
+// TestWriteHotReplicaDropped: a replicated column that starts taking writes
+// turns write-hot, and the write-guard must reclaim its extra replicas —
+// every copy would go stale with each write and the next merge would rebuild
+// them all (the Section 7 update-rate concern pricing replication out).
+func TestWriteHotReplicaDropped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	e, hot, p := hotOneSetup(t, 0.10, func(cfg *Config) {
+		// No new replication: isolate the reclaim path.
+		cfg.ReplicaBudgetBytes = 0
+	})
+	// Replicate the hot column up front (as its read-only life would have).
+	e.Placer.AddReplica(hot, 1)
+	e.Placer.AddReplica(hot, 2)
+	table := p.Catalog.Tables[0]
+	writers := workload.NewWriters(e, table, workload.WritersConfig{
+		Rate: 200_000, UpdateFraction: 0.5,
+		Chooser: workload.HotColumnChoice{Hot: 2, P: 1}, Seed: 9,
+	})
+	e.Sim.AddActor(writers)
+
+	e.Sim.Run(0.1)
+
+	if hot.Replicated() {
+		t.Fatalf("write-hot column still replicated: %v", hot.ReplicaSockets)
+	}
+	if n := countKind(p.Actions, "drop-replica"); n != 2 {
+		t.Fatalf("expected both extra replicas reclaimed, got %d drop-replica actions: %+v", n, p.Actions)
+	}
+	if hot.ExtraReplicaBytes() != 0 {
+		t.Fatalf("replica metadata lingers: %d bytes", hot.ExtraReplicaBytes())
+	}
+}
+
+// TestNoReplicateUnderWrites: the grow half of the write-guard. The same
+// read-hot dominating workload that TestPlacerReplicatesReadHotColumn shows
+// earns replicas must NOT be replicated when the column also takes a steady
+// trickle of writes — no replicate action may ever fire for a column with
+// nonzero recent write traffic.
+func TestNoReplicateUnderWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	e, hot, p := hotOneSetup(t, 0.10, nil)
+	table := p.Catalog.Tables[0]
+	// A modest but uninterrupted write stream: every balancing period sees
+	// nonzero write traffic for the hot column.
+	writers := workload.NewWriters(e, table, workload.WritersConfig{
+		Rate: 50_000, UpdateFraction: 1.0,
+		Chooser: workload.HotColumnChoice{Hot: 2, P: 1}, Seed: 9,
+	})
+	e.Sim.AddActor(writers)
+
+	e.Sim.Run(0.15)
+
+	for _, a := range p.Actions {
+		if a.Kind == "replicate" && a.Column == hot.Name {
+			t.Fatalf("replicate action for a column with recent write traffic: %+v", a)
+		}
+	}
+	if hot.Replicated() {
+		t.Fatalf("written column gained replicas: %v", hot.ReplicaSockets)
+	}
+	// The placer must still work the imbalance with its other levers rather
+	// than stall (the control test shows this workload demands action).
+	if len(p.Actions) == 0 {
+		t.Fatal("placer took no action at all on an imbalanced written workload")
+	}
+}
+
+// TestMergeTriggeredByDeltaSize: with writers growing a column's delta and
+// no help from scans, the size trigger alone must fire a background merge
+// that folds the delta into the main (growing it by the inserts) and
+// truncates the delta.
+func TestMergeTriggeredByDeltaSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window placer simulation")
+	}
+	e, hot, p := hotOneSetup(t, 0.10, nil)
+	table := p.Catalog.Tables[0]
+	rowsBefore := hot.Rows
+	writers := workload.NewWriters(e, table, workload.WritersConfig{
+		Rate: 400_000, UpdateFraction: 0.5,
+		Chooser: workload.HotColumnChoice{Hot: 2, P: 1}, Seed: 9,
+	})
+	e.Sim.AddActor(writers)
+
+	e.Sim.Run(0.15)
+
+	merges := 0
+	for _, a := range p.Actions {
+		if a.Kind == "merge" && a.Column == hot.Name {
+			merges++
+		}
+	}
+	if merges == 0 {
+		t.Fatalf("no merge fired while the delta grew; actions: %+v", p.Actions)
+	}
+	if e.MergesCompleted == 0 {
+		t.Fatal("merge fired but never completed")
+	}
+	if hot.Rows <= rowsBefore {
+		t.Fatalf("merged inserts did not grow the main: %d rows", hot.Rows)
+	}
+	// The delta was truncated at each merge: what lingers is bounded by the
+	// writes of the post-merge tail, far below the total written.
+	if int64(hot.DeltaRows()) >= int64(writers.Inserts+writers.Updates) {
+		t.Fatalf("delta never truncated: %d rows lingering of %d written",
+			hot.DeltaRows(), writers.Inserts+writers.Updates)
+	}
+}

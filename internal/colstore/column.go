@@ -13,6 +13,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"numacs/internal/delta"
 	"numacs/internal/memsim"
 	"numacs/internal/psm"
 )
@@ -86,11 +87,15 @@ func (ix *Index) SizeBytes() int64 {
 type Component int
 
 const (
+	// IV is the bit-compressed indexvector of value ids.
 	IV Component = iota
+	// Dict is the sorted dictionary mapping vids to values.
 	Dict
+	// IX is the optional inverted index mapping vids to IV positions.
 	IX
 )
 
+// String returns the paper's name for the component.
 func (c Component) String() string {
 	switch c {
 	case IV:
@@ -150,6 +155,14 @@ type Column struct {
 	// tear stale replicas down again (Section 7's adaptive design applied to
 	// the replication placement of Section 4.2).
 	Replicas []Replica
+
+	// Delta is the column's write-side delta store (per-socket uncompressed
+	// fragments; see package delta). It is nil until the first write — the
+	// read-only scan paths are untouched, byte for byte, for columns that
+	// were never written. Scans union the main with the delta rows visible
+	// at plan time; placement.MergeDelta folds the delta back into a rebuilt
+	// main.
+	Delta *delta.Delta
 }
 
 // Replica is the placement record of one extra replica of a column: the
@@ -324,6 +337,143 @@ func (c *Column) IVBytesForRows(from, to int) int64 {
 // the given row, used to locate scan ranges within the IV's address range.
 func (c *Column) IVOffsetForRow(row int) int64 {
 	return int64(uint64(row) * uint64(c.Bitcase) / 8)
+}
+
+// DeltaRows returns the committed delta rows of the column (0 when the
+// column was never written).
+func (c *Column) DeltaRows() int {
+	if c.Delta == nil {
+		return 0
+	}
+	return c.Delta.Rows()
+}
+
+// DeltaBytes returns the committed simulated footprint of the column's delta
+// (0 when the column was never written) — the quantity the adaptive placer's
+// merge threshold compares against IVBytes.
+func (c *Column) DeltaBytes() int64 {
+	if c.Delta == nil {
+		return 0
+	}
+	return c.Delta.SizeBytes()
+}
+
+// VisibleRows returns the logical row count a scan sees: main rows plus the
+// committed delta inserts (updates rewrite existing rows and do not add).
+func (c *Column) VisibleRows() int {
+	if c.Delta == nil {
+		return c.Rows
+	}
+	return c.Rows + c.Delta.InsertRows()
+}
+
+// ValueWithDelta returns the current value of a main row: the latest visible
+// delta update when one exists, the main's value otherwise.
+func (c *Column) ValueWithDelta(row int) int64 {
+	if c.Delta != nil {
+		if v, ok := c.Delta.LatestUpdate(row); ok {
+			return v
+		}
+	}
+	return c.Value(row)
+}
+
+// CountMatchesWithDelta counts the visible rows whose current value falls in
+// [loVal, hiVal]: main rows with their latest update applied, plus visible
+// delta inserts. This is the functional union-scan kernel the examples and
+// tests verify the merge against (the harness uses analytic counts instead).
+func (c *Column) CountMatchesWithDelta(loVal, hiVal int64) int {
+	var updates map[int]int64
+	if c.Delta != nil {
+		updates = c.Delta.UpdatesIn(c.Delta.Snapshot())
+	}
+	n := 0
+	for row := 0; row < c.Rows; row++ {
+		v := c.Value(row)
+		if u, ok := updates[row]; ok {
+			v = u
+		}
+		if v >= loVal && v <= hiVal {
+			n++
+		}
+	}
+	if c.Delta != nil {
+		for _, v := range c.Delta.AppendVisibleInserts(nil) {
+			if v >= loVal && v <= hiVal {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MergedValuesAt materializes the column's contents as of a delta snapshot:
+// every main row with its latest snapshot-visible update applied, followed
+// by the snapshot-visible inserted values in deterministic socket-major
+// order. Rows appended after the snapshot are excluded — they stay in the
+// delta when a merge folds the snapshot. Only valid for real (non-synthetic)
+// columns.
+func (c *Column) MergedValuesAt(snap delta.Snapshot) []int64 {
+	if c.Synthetic {
+		panic("colstore: MergedValuesAt on a synthetic column")
+	}
+	var updates map[int]int64
+	if c.Delta != nil {
+		updates = c.Delta.UpdatesIn(snap)
+	}
+	out := make([]int64, 0, c.Rows+snap.TotalInserts())
+	for row := 0; row < c.Rows; row++ {
+		v := c.Value(row)
+		if u, ok := updates[row]; ok {
+			v = u
+		}
+		out = append(out, v)
+	}
+	if c.Delta != nil {
+		out = c.Delta.AppendInsertsIn(snap, out)
+	}
+	return out
+}
+
+// MergedValues is MergedValuesAt of the current visibility watermark.
+func (c *Column) MergedValues() []int64 {
+	if c.Delta == nil {
+		return c.MergedValuesAt(delta.Snapshot{})
+	}
+	return c.MergedValuesAt(c.Delta.Snapshot())
+}
+
+// Reencode rebuilds the column's dictionary-encoded main in place from the
+// given values — the re-encode half of a delta merge: new sorted dictionary,
+// minimal bitcase, re-packed IV, and a rebuilt index when the column had
+// one. Placement metadata (ranges, PSMs, partitions) is NOT touched; the
+// caller (placement.MergeDelta) re-places the rebuilt structures.
+func (c *Column) Reencode(values []int64) {
+	if len(values) == 0 {
+		panic("colstore: Reencode with no values")
+	}
+	nc := Build(c.Name, values, c.Idx != nil)
+	c.Bitcase = nc.Bitcase
+	c.Rows = nc.Rows
+	c.IVec = nc.IVec
+	c.Dict = nc.Dict
+	c.Idx = nc.Idx
+}
+
+// ResizeSynthetic rebuilds a synthetic column's correctly-sized (but empty)
+// structures for a new row count — the synthetic analogue of Reencode used
+// when a delta merge grows the main. The value domain is unchanged, so the
+// expected distinct count and bitcase follow the generator's analytics.
+func (c *Column) ResizeSynthetic(rows int) {
+	if !c.Synthetic {
+		panic("colstore: ResizeSynthetic on a real column")
+	}
+	nc := NewSynthetic(c.Name, rows, c.Domain, c.Idx != nil)
+	c.Bitcase = nc.Bitcase
+	c.Rows = nc.Rows
+	c.IVec = nc.IVec
+	c.Dict = nc.Dict
+	c.Idx = nc.Idx
 }
 
 // PartitionOf returns the index of the IVP partition containing the row, or

@@ -51,6 +51,15 @@ type ItemTraffic struct {
 	Bytes     float64 // total DRAM bytes attributed to the item
 	IVBytes   float64 // bytes from scanning the indexvector
 	DictBytes float64 // bytes from dictionary/index random accesses
+	// DeltaBytes counts bytes from scanning the item's uncompressed delta
+	// fragments — the placer's scan-slowdown merge heuristic keys on their
+	// share of the item's scan traffic.
+	DeltaBytes float64
+	// WriteBytes counts write-side traffic (delta appends and merge
+	// rebuilds). Nonzero recent write traffic arms the placer's write-guard:
+	// the item is never newly replicated and its write-hot replicas are
+	// reclaimed (Section 7's update-rate concern).
+	WriteBytes float64
 	// PerSocket attributes the item's bytes to the serving socket, when the
 	// access had a single identifiable source (replica streams and probes
 	// do; interleaved-structure accesses are spread and not attributed).
@@ -75,6 +84,12 @@ type Engine struct {
 	// optimization of Section 5.2 that merges contiguous same-socket output
 	// regions before issuing tasks (ablation only).
 	DisableCoalesce bool
+
+	// MergesCompleted counts background delta merges that finished, and
+	// MergePagesCopied the pages their rebuilds wrote (observability for the
+	// write path; see write.go).
+	MergesCompleted  int
+	MergePagesCopied int64
 
 	env              *exec.Env
 	rng              *rand.Rand
@@ -266,16 +281,18 @@ func (e *Engine) SubmitPipeline(strategy Strategy, homeSocket int, onDone func(l
 // addItemTraffic attributes traffic to a data item for the adaptive placer.
 // socket is the serving socket, or -1 when the access spread over several
 // sockets (interleaved structures).
-func (e *Engine) addItemTraffic(item string, socket int, bytes, ivBytes, dictBytes float64) {
+func (e *Engine) addItemTraffic(item string, socket int, t exec.Traffic) {
 	it := e.itemTraffic[item]
 	if it == nil {
 		it = &ItemTraffic{PerSocket: make([]float64, e.Machine.Sockets)}
 		e.itemTraffic[item] = it
 	}
-	it.Bytes += bytes
-	it.IVBytes += ivBytes
-	it.DictBytes += dictBytes
+	it.Bytes += t.Bytes
+	it.IVBytes += t.IVBytes
+	it.DictBytes += t.DictBytes
+	it.DeltaBytes += t.DeltaBytes
+	it.WriteBytes += t.WriteBytes
 	if socket >= 0 && socket < len(it.PerSocket) {
-		it.PerSocket[socket] += bytes
+		it.PerSocket[socket] += t.Bytes
 	}
 }

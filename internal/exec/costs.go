@@ -48,6 +48,14 @@ type Costs struct {
 	// IdxMissRate is the same for index pointer chasing (postings are
 	// colder than dictionaries).
 	IdxMissRate float64
+	// DeltaScanCyclesPerByte is the compute cost of scanning uncompressed
+	// delta rows: predicate evaluation on raw 8-byte values cannot use the
+	// bit-packed SIMD kernel, so it burns more cycles per byte than the
+	// main's scan (on top of the delta's larger bytes-per-row).
+	DeltaScanCyclesPerByte float64
+	// DeltaWriteBytesPerRow is the DRAM traffic one delta append generates:
+	// the entry itself plus amortized fragment-local dictionary maintenance.
+	DeltaWriteBytesPerRow float64
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -66,5 +74,7 @@ func DefaultCosts() Costs {
 		MatMissRate:               0.1,
 		IdxMissRate:               0.6,
 		BitvectorSelectivity:      0.02,
+		DeltaScanCyclesPerByte:    1.0,
+		DeltaWriteBytesPerRow:     16,
 	}
 }

@@ -101,7 +101,21 @@ type Env struct {
 	// the serving socket (-1 when the access spreads over several sockets,
 	// e.g. an interleaved dictionary); per-socket attribution is what lets
 	// the placer tell which replica of a replicated column earns its keep.
-	AddItemTraffic func(item string, socket int, bytes, ivBytes, dictBytes float64)
+	AddItemTraffic func(item string, socket int, t Traffic)
+}
+
+// Traffic is one attribution sample for a data item: total DRAM bytes plus
+// the breakdown the adaptive placer's levers key on — IV streaming and
+// dictionary/index probes identify read-hot items (replication candidates),
+// delta-scan bytes feed the merge slowdown heuristic, and write bytes arm
+// the write-guard (a written column is never newly replicated and write-hot
+// replicas are reclaimed).
+type Traffic struct {
+	Bytes      float64
+	IVBytes    float64
+	DictBytes  float64
+	DeltaBytes float64
+	WriteBytes float64
 }
 
 // hint returns the concurrency budget.
@@ -120,9 +134,9 @@ func (env *Env) MCLoad() []float64 {
 }
 
 // addItem attributes per-item traffic when the hook is wired.
-func (env *Env) addItem(item string, socket int, bytes, ivBytes, dictBytes float64) {
+func (env *Env) addItem(item string, socket int, t Traffic) {
 	if env.AddItemTraffic != nil {
-		env.AddItemTraffic(item, socket, bytes, ivBytes, dictBytes)
+		env.AddItemTraffic(item, socket, t)
 	}
 }
 

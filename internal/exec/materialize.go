@@ -178,7 +178,7 @@ func runMaterialize(env *Env, w *sched.Worker, col *colstore.Column, m int, onDo
 			bytes := p * topology.CacheLine * miss
 			env.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
 			env.Counters.AddCompute(src, p*env.Costs.MatInstrPerAccess, 0)
-			env.addItem(col.Name, attrSocket, bytes+p*env.Costs.OutBytesPerMatch, 0, bytes)
+			env.addItem(col.Name, attrSocket, Traffic{Bytes: bytes + p*env.Costs.OutBytesPerMatch, DictBytes: bytes})
 		},
 		OnDone: onDone,
 	})
@@ -251,7 +251,7 @@ func (a *AggregateOp) runAggregate(env *Env, w *sched.Worker, col *colstore.Colu
 		OnAdvance: func(p float64) {
 			env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
 			env.Counters.AddCompute(src, p*cpb*0.8, 0)
-			env.addItem(col.Name, dst, p, p, 0)
+			env.addItem(col.Name, dst, Traffic{Bytes: p, IVBytes: p})
 		},
 		OnDone: onDone,
 	})

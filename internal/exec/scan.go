@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"numacs/internal/colstore"
+	"numacs/internal/delta"
 	"numacs/internal/sched"
 	"numacs/internal/sim"
 	"numacs/internal/topology"
@@ -71,6 +72,14 @@ type scanTask struct {
 	// must access the remote sockets of the other parts itself (the Figure 10
 	// effect).
 	allCols []*colstore.Column
+	// deltaFrag, when set, makes this a delta-fragment scan: deltaRows
+	// watermark-visible uncompressed rows streamed from the fragment's own
+	// socket, unioned with the main scan at the find barrier. deltaMatches
+	// is the analytic match count (no jitter: the read-only RNG stream must
+	// stay untouched when no writes were ever issued).
+	deltaFrag    *delta.Fragment
+	deltaRows    int
+	deltaMatches int
 }
 
 // Open plans and emits the find tasks. Only the primary predicate column
@@ -180,15 +189,54 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 			}
 		}
 	}
+	// planDelta unions the column's watermark-visible delta rows into the
+	// find phase: one task per non-empty per-socket fragment, streaming
+	// uncompressed rows from the fragment's own socket. A column that was
+	// never written has a nil Delta and plans nothing — the read-only path
+	// is bit-identical to a delta-free build.
+	planDelta := func(colName string, trackRegions bool) {
+		for _, part := range s.Table.Parts {
+			col := part.ColumnByName(colName)
+			if col == nil || col.Delta == nil {
+				continue
+			}
+			snap := col.Delta.Snapshot()
+			for sock := 0; sock < col.Delta.Sockets(); sock++ {
+				rows := snap.Rows[sock]
+				if rows == 0 {
+					continue
+				}
+				frag := col.Delta.Fragment(sock)
+				m := int(s.Selectivity*float64(rows) + 0.5)
+				region := -1
+				if trackRegions {
+					region = len(s.regions)
+					s.regions = append(s.regions, Region{Col: col, Part: part, Socket: sock})
+				}
+				tasks = append(tasks, scanTask{
+					col: col, region: region, socket: sock,
+					deltaFrag: frag, deltaRows: rows, deltaMatches: m,
+				})
+			}
+		}
+	}
+
 	plan(s.Column, true)
+	planDelta(s.Column, true)
 	for _, extra := range s.ExtraPredicateColumns {
 		plan(extra, false)
+		planDelta(extra, false)
 	}
 
 	out := make([]Task, 0, len(tasks))
 	for _, st := range tasks {
 		st := st
-		m := s.jitterMatches(env, st.rowTo-st.rowFrom)
+		var m int
+		if st.deltaFrag != nil {
+			m = st.deltaMatches
+		} else {
+			m = s.jitterMatches(env, st.rowTo-st.rowFrom)
+		}
 		if st.region >= 0 {
 			s.regions[st.region].Matches += m
 		}
@@ -201,6 +249,11 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 		if st.allCols != nil {
 			run = func(w *sched.Worker, done func()) {
 				s.runScanAll(env, w, st.allCols, m, done)
+			}
+		}
+		if st.deltaFrag != nil {
+			run = func(w *sched.Worker, done func()) {
+				s.runDeltaScan(env, w, st.col, st.deltaFrag, st.deltaRows, m, done)
 			}
 		}
 		if st.indexTask {
@@ -305,12 +358,46 @@ func (s *ScanOp) runScan(env *Env, w *sched.Worker, col *colstore.Column, from, 
 			OnAdvance: func(p float64) {
 				env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
 				env.Counters.AddCompute(src, p*env.Costs.ScanInstrPerByte, 0)
-				env.addItem(col.Name, dst, p, p, 0)
+				env.addItem(col.Name, dst, Traffic{Bytes: p, IVBytes: p})
 			},
 		}
 		flows = append(flows, fl)
 	}
 	RunFlows(env.Sim, flows, onDone)
+}
+
+// runDeltaScan executes one delta-fragment scan task: stream the fragment's
+// watermark-visible uncompressed rows (RowBytes each — several times the
+// main's bit-packed bytes per row, which is why scans degrade as the delta
+// grows) from the fragment's own socket, burning the uncompressed-predicate
+// compute, plus the match output write.
+func (s *ScanOp) runDeltaScan(env *Env, w *sched.Worker, col *colstore.Column, frag *delta.Fragment, rows, matches int, onDone func()) {
+	bytes := float64(rows) * delta.RowBytes
+	src := w.Socket()
+	dst := frag.Socket
+	penalty := 1.0
+	if !w.Bound {
+		penalty = env.Costs.UnboundStreamPenalty
+	}
+	outBytes := float64(matches) * 4
+	if s.Selectivity >= env.Costs.BitvectorSelectivity {
+		outBytes = float64(rows) / 8
+	}
+	demands, lt := env.HW.StreamDemands(src, dst, w.CoreRes, env.Costs.DeltaScanCyclesPerByte)
+	if outBytes > 0 {
+		demands = append(demands, sim.Demand{Resource: env.HW.MC[src], Weight: outBytes / (bytes + 1)})
+	}
+	env.Sim.StartFlow(&sim.Flow{
+		Remaining: bytes,
+		RateCap:   env.Machine.StreamRate(src, dst) * penalty,
+		Demands:   demands,
+		OnAdvance: func(p float64) {
+			env.Counters.AddMemoryTraffic(src, dst, p, p*lt.Data, p*lt.Total)
+			env.Counters.AddCompute(src, p*env.Costs.ScanInstrPerByte, 0)
+			env.addItem(col.Name, dst, Traffic{Bytes: p, DeltaBytes: p})
+		},
+		OnDone: onDone,
+	})
 }
 
 // runIndexLookup executes one (unparallelized) index-lookup task: dependent
@@ -339,7 +426,7 @@ func (s *ScanOp) runIndexLookup(env *Env, w *sched.Worker, col *colstore.Column,
 			bytes := p * topology.CacheLine * miss
 			env.addSpreadTraffic(src, dstWeights, bytes, p*lt.Data, p*lt.Total)
 			env.Counters.AddCompute(src, p*env.Costs.MatInstrPerAccess/2, 0)
-			env.addItem(col.Name, attrSocket, bytes, 0, bytes)
+			env.addItem(col.Name, attrSocket, Traffic{Bytes: bytes, DictBytes: bytes})
 		},
 		OnDone: onDone,
 	})

@@ -1,0 +1,126 @@
+package harness
+
+// Tests for the delta-merge experiment: the acceptance criteria of the
+// write-path lifecycle — monotonic scan degradation while the delta grows,
+// post-merge recovery to the read-only baseline, and write-hot replica
+// reclaim — validated at BOTH simulator scales (quick's coarse 25µs step and
+// full's 5µs step), per the repo's rule that perf claims must survive the
+// fine-step simulation.
+
+import "testing"
+
+func TestDeltaMergeLifecycleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window mixed read/write simulation")
+	}
+	checkDeltaMergeLifecycle(t, QuickScale())
+}
+
+func TestDeltaMergeLifecycleFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window mixed read/write simulation at the fine step")
+	}
+	checkDeltaMergeLifecycle(t, FullScale())
+}
+
+func checkDeltaMergeLifecycle(t *testing.T, s Scale) {
+	t.Helper()
+	base := RunDeltaMerge(s, false)
+	mixed := RunDeltaMerge(s, true)
+
+	// Control: the read-only run never merges, keeps its replicas, and the
+	// two runs are bit-identical until the writers start (the write path is
+	// inert without writes).
+	if base.MergesCompleted != 0 {
+		t.Fatalf("read-only baseline completed %d merges", base.MergesCompleted)
+	}
+	if !base.ReplicatedAtEnd {
+		t.Fatal("read-only baseline lost its replicas")
+	}
+	for w := 0; w < 4; w++ {
+		if base.TP[w] != mixed.TP[w] {
+			t.Fatalf("pre-write window %d diverged: baseline %.0f vs mixed %.0f (write path leaked into read-only execution)",
+				w+1, base.TP[w], mixed.TP[w])
+		}
+	}
+
+	// The size trigger must have fired during the write phase.
+	if len(mixed.MergeTimes) == 0 {
+		t.Fatalf("no merge fired for the written column; actions: %+v", mixed.Actions)
+	}
+	firstMerge := mixed.MergeTimes[0]
+	if firstMerge < mixed.WriteStart || firstMerge > mixed.WriteStop {
+		t.Fatalf("first merge at %.1fms outside the write phase [%.1f, %.1f]ms",
+			firstMerge*1e3, mixed.WriteStart*1e3, mixed.WriteStop*1e3)
+	}
+	if mixed.MergesCompleted == 0 {
+		t.Fatal("merges fired but none completed")
+	}
+
+	// (a) Scan throughput degrades monotonically with delta size before the
+	// merge: over the windows fully inside [writeStart, firstMerge), TP is
+	// non-increasing (3% jitter tolerance) and the degradation is
+	// substantial.
+	var pre []float64
+	for w := 4; float64(w+1)*mixed.Window <= firstMerge; w++ {
+		pre = append(pre, mixed.TP[w])
+	}
+	if len(pre) < 2 {
+		t.Fatalf("merge fired too early: only %d full degradation windows before %.1fms", len(pre), firstMerge*1e3)
+	}
+	for i := 1; i < len(pre); i++ {
+		if pre[i] > pre[i-1]*1.03 {
+			t.Errorf("degradation not monotonic: window TP rose %.0f -> %.0f while the delta grew (series %v)",
+				pre[i-1], pre[i], pre)
+		}
+	}
+	minPre := pre[0]
+	for _, v := range pre {
+		if v < minPre {
+			minPre = v
+		}
+	}
+	if minPre > 0.85*mixed.PreWriteTP {
+		t.Errorf("degradation not substantial: min pre-merge TP %.0f vs pre-write %.0f (want < 85%%)",
+			minPre, mixed.PreWriteTP)
+	}
+
+	// (b) Post-merge throughput recovers to within 10% of the read-only
+	// baseline (compared against the baseline run's same tail windows).
+	if mixed.RecoveredTP < 0.9*base.RecoveredTP || mixed.RecoveredTP > 1.1*base.RecoveredTP {
+		t.Errorf("recovery outside 10%%: recovered %.0f vs read-only baseline %.0f (%.3fx)",
+			mixed.RecoveredTP, base.RecoveredTP, mixed.RecoveredTP/base.RecoveredTP)
+	}
+	if mixed.FinalDeltaBytes > int64(mixed.RowsGrownTo/50) {
+		t.Errorf("delta not folded at the end: %d bytes linger", mixed.FinalDeltaBytes)
+	}
+
+	// (c) The write-hot replicas are reclaimed, during the write phase.
+	if mixed.ReplicatedAtEnd {
+		t.Error("write-hot column still replicated at the end")
+	}
+	drops := 0
+	for _, a := range mixed.Actions {
+		if a.Kind == "drop-replica" {
+			drops++
+			if a.Time < mixed.WriteStart || a.Time > mixed.WriteStop {
+				t.Errorf("drop-replica at %.1fms outside the write phase", a.Time*1e3)
+			}
+		}
+		if a.Kind == "replicate" {
+			t.Errorf("replicate action in a run with writes: %+v", a)
+		}
+	}
+	if drops < 2 {
+		t.Errorf("expected both extra replicas reclaimed, got %d drop-replica actions", drops)
+	}
+
+	// The write mix is update-heavy by construction.
+	if mixed.Inserts == 0 || mixed.Updates <= mixed.Inserts {
+		t.Errorf("write mix off: %d inserts, %d updates", mixed.Inserts, mixed.Updates)
+	}
+	// Inserts merged into the main grow the row count.
+	if mixed.RowsGrownTo <= s.Rows {
+		t.Errorf("merged inserts did not grow the main: %d rows (started at %d)", mixed.RowsGrownTo, s.Rows)
+	}
+}

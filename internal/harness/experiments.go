@@ -133,6 +133,9 @@ func init() {
 	register(Experiment{ID: "adaptive-repl", Title: "Adaptive replication of read-hot columns (Sections 4.2 + 7)",
 		Description: "A read-hot single-column skew of unparallelized scans, balanced by the adaptive placer with and without the replication lever: moving only relocates the hotspot and partitioning forces single-task scans remote (Figure 10), while a replica on every socket serves each scan locally; throughput and QPI traffic tracked over virtual time.",
 		Run:         runAdaptiveRepl})
+	register(Experiment{ID: "delta-merge", Title: "Delta-store write path: append, scan degradation, merge, recovery (Sections 2 + 7)",
+		Description: "Mixed read/write skew on the main/delta architecture: an update-heavy write mix grows a hot column's uncompressed per-socket delta until scans degrade, the write-aware placer fires a background merge that rebuilds the main and restores throughput, and the write-guard reclaims the replicas of a column that turned write-hot.",
+		Run:         runDeltaMerge})
 	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
 		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
 		Run:         runStarJoin})

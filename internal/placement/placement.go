@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"numacs/internal/colstore"
+	"numacs/internal/delta"
 	"numacs/internal/memsim"
 	"numacs/internal/psm"
 	"numacs/internal/topology"
@@ -18,11 +19,15 @@ import (
 type Strategy int
 
 const (
+	// RR places whole columns on sockets round-robin (Section 4.2).
 	RR Strategy = iota
+	// IVP partitions a column's indexvector across sockets by page moves.
 	IVP
+	// PP physically partitions the table, each part wholly on one socket.
 	PP
 )
 
+// String returns the paper's name for the placement strategy.
 func (s Strategy) String() string {
 	switch s {
 	case RR:
@@ -311,6 +316,139 @@ func (p *Placer) RepartitionIVP(c *colstore.Column, sockets []int) int64 {
 	before := p.Alloc.TotalPagesMoved()
 	p.PlaceIVP(c, sockets)
 	return p.Alloc.TotalPagesMoved() - before
+}
+
+// EnsureDeltaCapacity grows the simulated allocation backing a delta
+// fragment so it covers the fragment's committed bytes: capacity doubles
+// (page-granular) on the fragment's own socket — the per-socket placement
+// that keeps appends local to the writing client. The copy cost of growth is
+// folded into the write-traffic flows the engine issues per append batch.
+func (p *Placer) EnsureDeltaCapacity(f *delta.Fragment) {
+	need := f.SizeBytes()
+	if need <= f.Range.Bytes {
+		return
+	}
+	newBytes := f.Range.Bytes * 2
+	if newBytes < memsim.PageSize {
+		newBytes = memsim.PageSize
+	}
+	for newBytes < need {
+		newBytes *= 2
+	}
+	if f.Range.Bytes > 0 {
+		p.Alloc.Free(f.Range)
+	}
+	f.Range = p.Alloc.Alloc(newBytes, memsim.OnSocket(f.Socket))
+}
+
+// MergeDelta folds the delta rows visible in the given snapshot — taken
+// when the merge STARTED, so rows appended while the background merge was in
+// flight stay in the delta for the next round — into a rebuilt
+// dictionary-encoded main: the merge of the main/delta architecture, fired
+// by the adaptive placer's Action{Kind:"merge"}. It rebuilds the main
+// structures (Reencode for real columns, ResizeSynthetic for harness
+// columns) and re-places them NUMA-aware, preserving the column's placement
+// shape:
+//
+//   - an IVP-partitioned column is re-partitioned across the same sockets
+//     (bounds recomputed for the grown row count);
+//   - a replicated column's replicas are invalidated and rebuilt at the new
+//     size on the same sockets (the merged main must reach every copy);
+//   - otherwise the column is re-placed wholly on its previous majority
+//     socket.
+//
+// It returns the merged row count and the pages the rebuild wrote (the copy
+// cost the adaptive placer accounts).
+func (p *Placer) MergeDelta(c *colstore.Column, snap delta.Snapshot) (mergedRows int, pagesCopied int64) {
+	d := c.Delta
+	if d == nil || snap.TotalRows() == 0 {
+		return 0, 0
+	}
+
+	// Record the placement shape before tearing the old structures down.
+	shapeIVP := c.NumPartitions() > 1
+	var ivpSockets []int
+	if shapeIVP {
+		for i := 0; i < c.NumPartitions(); i++ {
+			from, to := c.PartitionBounds(i)
+			off := c.IVOffsetForRow((from + to) / 2)
+			if off >= c.IVRange.Bytes {
+				off = c.IVRange.Bytes - 1
+			}
+			s := c.IVPSM.LocationOf(c.IVRange.Start + memsim.Addr(off))
+			if s < 0 {
+				s = 0
+			}
+			ivpSockets = append(ivpSockets, s)
+		}
+	}
+	replicaSockets := append([]int(nil), c.ReplicaSockets...)
+	home := c.IVPSM.MajoritySocket()
+	if len(replicaSockets) > 0 {
+		home = replicaSockets[0]
+	}
+	if home < 0 {
+		home = 0
+	}
+
+	// Rebuild the main from main + snapshot-visible delta.
+	if c.Synthetic {
+		c.ResizeSynthetic(c.Rows + snap.TotalInserts())
+	} else {
+		c.Reencode(c.MergedValuesAt(snap))
+	}
+	mergedRows = snap.TotalRows()
+
+	// Free the old placement: primary ranges and every replica (replica
+	// invalidation — stale copies of the pre-merge main must not serve).
+	p.Alloc.Free(c.IVRange)
+	p.Alloc.Free(c.DictRange)
+	if c.IXRange.Bytes > 0 {
+		p.Alloc.Free(c.IXRange)
+	}
+	for _, r := range c.Replicas {
+		p.Alloc.Free(r.IVRange)
+		p.Alloc.Free(r.DictRange)
+		if r.IXRange.Bytes > 0 {
+			p.Alloc.Free(r.IXRange)
+		}
+	}
+	c.IVRange, c.DictRange, c.IXRange = memsim.Range{}, memsim.Range{}, memsim.Range{}
+	c.Replicas = nil
+	c.ReplicaSockets = nil
+
+	// Re-place the rebuilt main, preserving the shape.
+	switch {
+	case shapeIVP:
+		p.PlaceIVP(c, ivpSockets)
+	default:
+		p.PlaceColumnOnSocket(c, home)
+		// Replica rebuild: same sockets, new size.
+		if len(replicaSockets) > 1 {
+			for _, s := range replicaSockets[1:] {
+				p.AddReplica(c, s)
+			}
+		}
+	}
+	pagesCopied = c.IVRange.Pages() + c.DictRange.Pages()
+	if c.IXRange.Bytes > 0 {
+		pagesCopied += c.IXRange.Pages()
+	}
+	for _, r := range c.Replicas {
+		pagesCopied += (r.Bytes() + memsim.PageSize - 1) / memsim.PageSize
+	}
+
+	// The merged prefix leaves the delta; later appends survive. Emptied
+	// fragments release their simulated allocation.
+	d.TruncateMerged(snap)
+	for s := 0; s < d.Sockets(); s++ {
+		f := d.Fragment(s)
+		if f.Committed() == 0 && f.Range.Bytes > 0 {
+			p.Alloc.Free(f.Range)
+			f.Range = memsim.Range{}
+		}
+	}
+	return mergedRows, pagesCopied
 }
 
 // Cost models for the two repartitioning mechanisms (Section 6.2.3: PP on

@@ -198,3 +198,120 @@ func (c *Clients) issue(client int) {
 		OnDone:      func(float64) { c.issue(client) },
 	})
 }
+
+// WritersConfig is the workload's write-mix knob: a population of writing
+// clients issuing inserts and updates against chosen columns at a configured
+// aggregate rate, opening the mixed read/write scenarios the paper's Section
+// 7 update-rate concerns (replication priced out by writes, merge pressure)
+// need to actually fire.
+type WritersConfig struct {
+	// Rate is the aggregate write rate in rows per virtual second.
+	Rate float64
+	// UpdateFraction is the fraction of writes that update an existing main
+	// row (the rest insert new rows, growing the column at the next merge).
+	UpdateFraction float64
+	// Chooser picks the column each write targets (UniformChoice when nil).
+	Chooser Chooser
+	// Sockets lists the sockets the writing clients run on — each write
+	// appends to the delta fragment of a uniformly chosen listed socket.
+	// Empty means all sockets. Pinning writers (e.g. Sockets: []int{0})
+	// concentrates the delta on one memory controller, the layout where
+	// delta growth degrades scans of a same-socket column most directly.
+	Sockets []int
+	// Start and Stop bound the active virtual-time window; Stop <= 0 means
+	// "never stop". Both default to zero (writers active from the start).
+	Start, Stop float64
+	// Seed drives the writers' private RNG (column, socket, row, value
+	// choices) — independent of the scan clients' stream, so attaching
+	// writers never perturbs a fixed-seed read workload's RNG draws.
+	Seed int64
+}
+
+// Writers drives the write mix as a simulation actor: each tick it applies
+// the accrued number of writes to the per-socket delta fragments of the
+// chosen columns (each write lands on a uniformly chosen writing-client
+// socket) and issues one batched write-traffic flow per touched fragment.
+// Register it with engine.Sim.AddActor.
+type Writers struct {
+	cfg     WritersConfig
+	engine  *core.Engine
+	table   *colstore.Table
+	columns []*colstore.Column
+	rng     *rand.Rand
+	carry   float64
+
+	// Inserts and Updates count the writes applied so far.
+	Inserts uint64
+	Updates uint64
+}
+
+// NewWriters creates the writer population over a placed single-part table.
+func NewWriters(e *core.Engine, table *colstore.Table, cfg WritersConfig) *Writers {
+	if table.NumParts() != 1 {
+		panic("workload: writers need a single-part table (delta + PP is out of scope)")
+	}
+	if cfg.Chooser == nil {
+		cfg.Chooser = UniformChoice{}
+	}
+	return &Writers{
+		cfg:     cfg,
+		engine:  e,
+		table:   table,
+		columns: table.Parts[0].Columns,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 31)),
+	}
+}
+
+// Tick implements sim.Actor: apply this step's writes and emit one batched
+// traffic flow per (column, socket) fragment touched.
+func (w *Writers) Tick(now float64) {
+	if w.cfg.Rate <= 0 || now < w.cfg.Start || (w.cfg.Stop > 0 && now >= w.cfg.Stop) {
+		return
+	}
+	w.carry += w.cfg.Rate * w.engine.Sim.StepLen()
+	n := int(w.carry)
+	if n == 0 {
+		return
+	}
+	w.carry -= float64(n)
+	sockets := w.cfg.Sockets
+	if len(sockets) == 0 {
+		sockets = make([]int, w.engine.Machine.Sockets)
+		for i := range sockets {
+			sockets[i] = i
+		}
+	}
+	type batchKey struct {
+		col    *colstore.Column
+		socket int
+	}
+	batch := make(map[batchKey]int)
+	for i := 0; i < n; i++ {
+		col := w.columns[w.cfg.Chooser.Pick(w.rng, len(w.columns))]
+		socket := sockets[w.rng.Intn(len(sockets))]
+		domain := col.Domain
+		if domain <= 0 {
+			domain = int64(col.NumDistinct())
+			if domain <= 0 {
+				domain = 1
+			}
+		}
+		v := w.rng.Int63n(domain)
+		if w.rng.Float64() < w.cfg.UpdateFraction {
+			w.engine.ApplyUpdate(col, socket, w.rng.Intn(col.Rows), v)
+			w.Updates++
+		} else {
+			w.engine.ApplyInsert(col, socket, v)
+			w.Inserts++
+		}
+		batch[batchKey{col, socket}]++
+	}
+	// Deterministic flow emission order: column order, then socket.
+	for _, col := range w.columns {
+		for s := 0; s < w.engine.Machine.Sockets; s++ {
+			if rows := batch[batchKey{col, s}]; rows > 0 {
+				w.engine.AddWriteTraffic(col, s, rows)
+			}
+		}
+	}
+}

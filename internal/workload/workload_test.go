@@ -8,6 +8,85 @@ import (
 	"numacs/internal/topology"
 )
 
+// TestWritersRateMixAndWindow: the write-mix actor must apply writes at the
+// configured aggregate rate, honor the insert/update fraction and the
+// active-window bounds, and land appends in the per-socket delta fragments
+// of the chosen columns.
+func TestWritersRateMixAndWindow(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	e := core.NewWithStep(m, 1, 20e-6)
+	tbl := Generate(DatasetConfig{Rows: 10_000, Columns: 4, BitcaseMin: 10, BitcaseMax: 13, Seed: 1, Synthetic: true})
+	e.Placer.PlaceRR(tbl)
+	w := NewWriters(e, tbl, WritersConfig{
+		Rate: 100_000, UpdateFraction: 0.25,
+		Chooser: HotColumnChoice{Hot: 1, P: 1},
+		Start:   0.01, Stop: 0.03, Seed: 3,
+	})
+	e.Sim.AddActor(w)
+	e.Sim.Run(0.05)
+
+	applied := w.Inserts + w.Updates
+	want := uint64(100_000 * 0.02) // active for 20ms
+	if applied < want*99/100 || applied > want*101/100 {
+		t.Fatalf("applied %d writes, want ~%d (rate x active window)", applied, want)
+	}
+	frac := float64(w.Updates) / float64(applied)
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("update fraction %.3f, want ~0.25", frac)
+	}
+	col := tbl.Parts[0].Columns[1]
+	if col.Delta == nil || uint64(col.Delta.Rows()) != applied {
+		t.Fatalf("delta rows %d != applied %d", col.DeltaRows(), applied)
+	}
+	for _, other := range []int{0, 2, 3} {
+		if tbl.Parts[0].Columns[other].Delta != nil {
+			t.Fatalf("column %d was never chosen but has a delta", other)
+		}
+	}
+	// Appends spread across every socket's fragment by default.
+	for s := 0; s < m.Sockets; s++ {
+		if col.Delta.Fragment(s).Committed() == 0 {
+			t.Fatalf("socket %d fragment empty", s)
+		}
+		if col.Delta.Fragment(s).Range.Bytes == 0 {
+			t.Fatalf("socket %d fragment has no simulated allocation", s)
+		}
+	}
+	// Write traffic reached the item-traffic accounting as write bytes.
+	it := e.ItemTraffic()[col.Name]
+	if it == nil || it.WriteBytes <= 0 {
+		t.Fatalf("no write traffic attributed: %+v", it)
+	}
+}
+
+// TestWritersPinnedSockets: with Sockets configured, every append lands on a
+// listed socket's fragment.
+func TestWritersPinnedSockets(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	e := core.NewWithStep(m, 1, 20e-6)
+	tbl := Generate(DatasetConfig{Rows: 10_000, Columns: 2, BitcaseMin: 10, BitcaseMax: 11, Seed: 1, Synthetic: true})
+	e.Placer.PlaceRR(tbl)
+	w := NewWriters(e, tbl, WritersConfig{
+		Rate: 50_000, Chooser: HotColumnChoice{Hot: 0, P: 1}, Sockets: []int{2}, Seed: 3,
+	})
+	e.Sim.AddActor(w)
+	e.Sim.Run(0.02)
+
+	col := tbl.Parts[0].Columns[0]
+	if col.Delta == nil || col.Delta.Rows() == 0 {
+		t.Fatal("no writes applied")
+	}
+	for s := 0; s < m.Sockets; s++ {
+		n := col.Delta.Fragment(s).Committed()
+		if s == 2 && n == 0 {
+			t.Fatal("pinned socket fragment empty")
+		}
+		if s != 2 && n != 0 {
+			t.Fatalf("socket %d fragment has %d rows despite pinning", s, n)
+		}
+	}
+}
+
 func TestGenerateRealDataset(t *testing.T) {
 	cfg := DatasetConfig{Rows: 5000, Columns: 10, BitcaseMin: 8, BitcaseMax: 12, Seed: 1}
 	tbl := Generate(cfg)

@@ -43,6 +43,7 @@ import (
 	"numacs/internal/agg"
 	"numacs/internal/colstore"
 	"numacs/internal/core"
+	"numacs/internal/delta"
 	"numacs/internal/exec"
 	"numacs/internal/harness"
 	"numacs/internal/join"
@@ -100,6 +101,14 @@ type Part = colstore.Part
 
 // Index is the optional inverted index of a column.
 type Index = colstore.Index
+
+// Delta is a column's write-side delta store: uncompressed per-socket
+// fragments appends land in until a background merge folds them into the
+// dictionary-encoded main.
+type Delta = delta.Delta
+
+// DeltaFragment is one per-socket fragment of a column's delta.
+type DeltaFragment = delta.Fragment
 
 // PackedVector is a bit-compressed integer vector.
 type PackedVector = colstore.PackedVector
@@ -268,6 +277,19 @@ func GenerateDataset(cfg DatasetConfig) *Table { return workload.Generate(cfg) }
 // NewClients creates a closed-loop client population over a placed table.
 func NewClients(e *Engine, t *Table, cfg ClientsConfig) *Clients {
 	return workload.NewClients(e, t, cfg)
+}
+
+// WritersConfig is the workload's write-mix knob: inserts/updates per
+// virtual second against chosen columns.
+type WritersConfig = workload.WritersConfig
+
+// Writers drives the write mix against per-socket delta fragments; register
+// it with engine.Sim.AddActor.
+type Writers = workload.Writers
+
+// NewWriters creates the writer population over a placed single-part table.
+func NewWriters(e *Engine, t *Table, cfg WritersConfig) *Writers {
+	return workload.NewWriters(e, t, cfg)
 }
 
 // AggClients drives TPC-H-Q1-style or BW-EML-style aggregation clients.
