@@ -12,6 +12,7 @@ package core
 import (
 	"math/rand"
 
+	"numacs/internal/admit"
 	"numacs/internal/exec"
 	"numacs/internal/hw"
 	"numacs/internal/metrics"
@@ -36,6 +37,19 @@ const (
 	// Bound assigns task affinities and sets the hard-affinity flag:
 	// inter-socket stealing is prevented.
 	Bound = exec.Bound
+)
+
+// StatementClass is the admission class of a statement (admit.Class): it
+// selects the load-shedding deadline when the engine runs with an admission
+// controller.
+type StatementClass = admit.Class
+
+const (
+	// OLAPClass marks heavy analytic scans (generous deadline).
+	OLAPClass = admit.OLAP
+	// InteractiveClass marks short latency-critical statements such as delta
+	// write batches (tight deadline).
+	InteractiveClass = admit.Interactive
 )
 
 // Costs holds the calibrated cost-model constants.
@@ -91,6 +105,13 @@ type Engine struct {
 	MergesCompleted  int
 	MergePagesCopied int64
 
+	// Admit is the optional statement-admission controller (EnableAdmission
+	// wires one). When set, Submit and SubmitWrite route through it: queries
+	// wait in per-tenant queues under weighted-fair admission, the elastic
+	// concurrency loop bounds how many run at once, and overload sheds. Nil
+	// means direct dispatch — the pre-admission engine, unchanged.
+	Admit *admit.Controller
+
 	env              *exec.Env
 	rng              *rand.Rand
 	activeStatements int
@@ -143,6 +164,20 @@ func NewWithStep(m *topology.Machine, seed int64, step float64) *Engine {
 // ExecEnv returns the engine's operator-pipeline environment, for composing
 // raw exec pipelines outside the statement entry points.
 func (e *Engine) ExecEnv() *exec.Env { return e.env }
+
+// EnableAdmission puts an admission controller in front of the engine's
+// Submit and SubmitWrite paths and registers it as a simulation actor. It
+// returns the controller for stats and tracing. Call it once, before
+// submitting statements.
+func (e *Engine) EnableAdmission(cfg admit.Config) *admit.Controller {
+	if e.Admit != nil {
+		panic("core: admission already enabled")
+	}
+	c := admit.New(cfg, e.Sched, e.Sim)
+	e.Sim.AddActor(c)
+	e.Admit = c
+	return c
+}
 
 // ActiveStatements returns the number of in-flight queries.
 func (e *Engine) ActiveStatements() int { return e.activeStatements }
@@ -198,8 +233,19 @@ type Query struct {
 	Strategy Strategy
 	// HomeSocket is where the client's connection thread runs.
 	HomeSocket int
-	// OnDone fires at completion with the query latency in seconds.
+	// OnDone fires at completion with the query latency in seconds. Under
+	// admission control the latency includes the admission-queue wait.
 	OnDone func(latency float64)
+
+	// Tenant names the issuing tenant for admission control; ignored (and
+	// irrelevant) when the engine has no controller.
+	Tenant string
+	// Class is the statement's admission class (OLAP unless set); it selects
+	// the load-shedding deadline.
+	Class admit.Class
+	// OnShed fires instead of OnDone when the admission controller sheds the
+	// statement under overload.
+	OnShed func()
 
 	// Aggregate turns the second phase into an aggregation over the
 	// qualifying rows instead of an output materialization (Section 6.3:
@@ -215,7 +261,32 @@ type Query struct {
 
 // Submit starts executing a query as a two-operator pipeline (find phase,
 // then materialization or aggregation); completion is reported via q.OnDone.
+// With admission enabled the statement routes through the controller: it may
+// wait in its tenant's queue (the wait counts toward the reported latency
+// and ages its task priority), run with a coarsened fan-out, or be shed.
 func (e *Engine) Submit(q *Query) {
+	if e.Admit != nil {
+		e.Admit.Submit(&admit.Statement{
+			Tenant: q.Tenant,
+			Class:  q.Class,
+			OnShed: q.OnShed,
+			Run: func(gran int, issuedAt float64, done func()) {
+				e.submitQuery(q, gran, issuedAt, func(lat float64) {
+					done()
+					if q.OnDone != nil {
+						q.OnDone(lat)
+					}
+				})
+			},
+		})
+		return
+	}
+	e.submitQuery(q, 0, e.Sim.Now(), q.OnDone)
+}
+
+// submitQuery builds and dispatches the query's operator pipeline with the
+// given fan-out cap and statement timestamp.
+func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, onDone func(latency float64)) {
 	scan := &exec.ScanOp{
 		Table:                 q.Table,
 		Column:                q.Column,
@@ -242,7 +313,7 @@ func (e *Engine) Submit(q *Query) {
 			DisableCoalesce: e.DisableCoalesce,
 		}
 	}
-	e.SubmitPipeline(q.Strategy, q.HomeSocket, q.OnDone, scan, second)
+	e.SubmitPipelineAt(q.Strategy, q.HomeSocket, gran, issuedAt, onDone, scan, second)
 }
 
 // SubmitPipeline executes composed operators as one SQL statement: the fixed
@@ -252,13 +323,22 @@ func (e *Engine) Submit(q *Query) {
 // completion latency (including the overhead) is recorded and reported via
 // onDone.
 func (e *Engine) SubmitPipeline(strategy Strategy, homeSocket int, onDone func(latency float64), ops ...exec.Operator) {
-	issued := e.Sim.Now()
+	e.SubmitPipelineAt(strategy, homeSocket, 0, e.Sim.Now(), onDone, ops...)
+}
+
+// SubmitPipelineAt is SubmitPipeline with the admission controller's two
+// levers exposed: maxFanout caps every operator's task fan-out (0 =
+// uncapped), and issuedAt backdates the statement timestamp to its
+// admission-queue arrival — task priorities age with the wait, and the
+// recorded latency covers queue time, not just execution.
+func (e *Engine) SubmitPipelineAt(strategy Strategy, homeSocket, maxFanout int, issuedAt float64, onDone func(latency float64), ops ...exec.Operator) {
 	e.activeStatements++
 	p := &exec.Pipeline{
 		Env:        e.env,
 		Strategy:   strategy,
 		HomeSocket: homeSocket,
-		IssuedAt:   issued,
+		IssuedAt:   issuedAt,
+		MaxFanout:  maxFanout,
 		Ops:        ops,
 		OnDone: func(lat float64) {
 			e.activeStatements--

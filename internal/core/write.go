@@ -11,12 +11,35 @@ package core
 // swaps in the rebuilt main via placement.MergeDelta.
 
 import (
+	"numacs/internal/admit"
 	"numacs/internal/colstore"
 	"numacs/internal/delta"
 	"numacs/internal/exec"
 	"numacs/internal/placement"
 	"numacs/internal/sim"
 )
+
+// SubmitWrite routes a write batch through the admission controller as a
+// short Interactive-class statement when admission is enabled, or applies it
+// immediately otherwise. apply must perform the data-structure mutations and
+// start the batch's traffic flows, calling done when the flows complete —
+// under admission the batch may wait in its tenant's queue first (writes are
+// deferred, not applied-then-admitted), and the Interactive deadline can
+// shed it, in which case apply never runs.
+func (e *Engine) SubmitWrite(tenant string, onShed func(), apply func(done func())) {
+	if e.Admit == nil {
+		apply(func() {})
+		return
+	}
+	e.Admit.Submit(&admit.Statement{
+		Tenant: tenant,
+		Class:  admit.Interactive,
+		OnShed: onShed,
+		Run: func(gran int, issuedAt float64, done func()) {
+			apply(done)
+		},
+	})
+}
 
 // EnsureDelta returns the column's delta store, creating the per-socket
 // fragments on the first write. Columns that are never written keep a nil
@@ -56,7 +79,17 @@ func (e *Engine) ApplyUpdate(col *colstore.Column, socket, row int, v int64) {
 // bytes are attributed to the item as write traffic (arming the placer's
 // write-guard).
 func (e *Engine) AddWriteTraffic(col *colstore.Column, socket, rows int) {
+	e.AddWriteTrafficDone(col, socket, rows, nil)
+}
+
+// AddWriteTrafficDone is AddWriteTraffic with a completion callback, fired
+// when the batch's flow drains (immediately for empty batches) — the hook
+// admitted write statements report their completion through.
+func (e *Engine) AddWriteTrafficDone(col *colstore.Column, socket, rows int, onDone func()) {
 	if rows <= 0 {
+		if onDone != nil {
+			onDone()
+		}
 		return
 	}
 	bytes := float64(rows) * e.Costs.DeltaWriteBytesPerRow
@@ -69,6 +102,7 @@ func (e *Engine) AddWriteTraffic(col *colstore.Column, socket, rows int) {
 			e.Counters.AddMemoryTraffic(socket, socket, p, 0, 0)
 			e.addItemTraffic(name, socket, exec.Traffic{Bytes: p, WriteBytes: p})
 		},
+		OnDone: onDone,
 	})
 }
 

@@ -199,7 +199,26 @@ type Pipeline struct {
 	// statement latency in seconds.
 	OnDone func(latency float64)
 
+	// MaxFanout caps the per-operator task fan-out of this statement — the
+	// admission controller's elastic-granularity lever: under deep scheduler
+	// queues, statements split coarser so the queues drain instead of
+	// filling with more slices of the same work. Zero means no cap, leaving
+	// the concurrency hint alone in charge (bit-identical to the planner
+	// without admission control).
+	MaxFanout int
+
 	pending int
+}
+
+// Hint returns the task-granularity budget of this statement's partitionable
+// phases: the engine's concurrency hint [28], capped by the statement's
+// MaxFanout when the admission controller set one.
+func (p *Pipeline) Hint() int {
+	h := p.Env.hint()
+	if p.MaxFanout > 0 && p.MaxFanout < h {
+		return p.MaxFanout
+	}
+	return h
 }
 
 // Start opens the first operator. The pipeline records the statement latency

@@ -86,9 +86,10 @@ func (j *JoinOp) htWeights(env *Env) []float64 {
 // fanOut plans one join phase over the column's scheduling partitions: each
 // task streams its share of the column and performs hash-table accesses
 // (inserts during build, probes afterwards).
-func (j *JoinOp) fanOut(env *Env, col *colstore.Column, cyclesPerRow, accessesPerRow, byteFrac float64) []Task {
+func (j *JoinOp) fanOut(p *Pipeline, col *colstore.Column, cyclesPerRow, accessesPerRow, byteFrac float64) []Task {
+	env := p.Env
 	parts := Partitions(col)
-	per := TasksPerPartition(env.hint(), len(parts))
+	per := TasksPerPartition(p.Hint(), len(parts))
 	weights := j.htWeights(env)
 	var out []Task
 	for _, pr := range parts {
@@ -178,7 +179,6 @@ type joinBuild JoinOp
 
 func (b *joinBuild) Open(p *Pipeline) []Task {
 	j := (*JoinOp)(b)
-	env := p.Env
 	if len(j.HTSockets) == 0 {
 		j.HTSockets = []int{j.Build.IVPSM.MajoritySocket()}
 	}
@@ -208,7 +208,7 @@ func (b *joinBuild) Open(p *Pipeline) []Task {
 	if cycles == 0 {
 		cycles = DefaultBuildCyclesPerRow
 	}
-	return j.fanOut(env, j.Build, cycles, j.buildFrac, j.buildFrac)
+	return j.fanOut(p, j.Build, cycles, j.buildFrac, j.buildFrac)
 }
 
 func (b *joinBuild) Close(*Pipeline) {}
@@ -218,7 +218,6 @@ type joinProbe JoinOp
 
 func (pr *joinProbe) Open(p *Pipeline) []Task {
 	j := (*JoinOp)(pr)
-	env := p.Env
 	effHits := j.HitsPerProbeRow * j.buildFrac
 	accesses := effHits
 	if accesses < 1 {
@@ -237,7 +236,7 @@ func (pr *joinProbe) Open(p *Pipeline) []Task {
 	if cycles == 0 {
 		cycles = DefaultProbeCyclesPerRow
 	}
-	return j.fanOut(env, j.Probe, cycles, accesses, 1)
+	return j.fanOut(p, j.Probe, cycles, accesses, 1)
 }
 
 // Close releases the operator-internal hash table at the probe barrier.

@@ -22,7 +22,8 @@ type outTask struct {
 // regions are coalesced; and each coalesced partition receives a
 // correspondingly weighted number of tasks, at least one, within the
 // concurrency hint.
-func planOutput(env *Env, regions []Region, parallel bool, project []string, disableCoalesce bool) []outTask {
+func planOutput(p *Pipeline, regions []Region, parallel bool, project []string, disableCoalesce bool) []outTask {
+	env := p.Env
 	total := 0
 	for _, reg := range regions {
 		total += reg.Matches
@@ -69,8 +70,8 @@ func planOutput(env *Env, regions []Region, parallel bool, project []string, dis
 	}
 
 	// Distribute tasks: proportional to weight, at least one per partition,
-	// not surpassing the concurrency hint.
-	hint := env.hint()
+	// not surpassing the statement's granularity budget.
+	hint := p.Hint()
 	if !parallel {
 		hint = 1
 	}
@@ -134,7 +135,7 @@ type MaterializeOp struct {
 // Open plans the materialization tasks from the upstream regions.
 func (m *MaterializeOp) Open(p *Pipeline) []Task {
 	env := p.Env
-	tasks := planOutput(env, m.Scan.Regions(), m.Parallel, m.ProjectColumns, m.DisableCoalesce)
+	tasks := planOutput(p, m.Scan.Regions(), m.Parallel, m.ProjectColumns, m.DisableCoalesce)
 	out := make([]Task, 0, len(tasks))
 	for _, mt := range tasks {
 		mt := mt
@@ -213,7 +214,7 @@ type AggregateOp struct {
 // Open plans the aggregation tasks from the upstream regions.
 func (a *AggregateOp) Open(p *Pipeline) []Task {
 	env := p.Env
-	tasks := planOutput(env, a.Source.Regions(), a.Parallel, a.ProjectColumns, a.DisableCoalesce)
+	tasks := planOutput(p, a.Source.Regions(), a.Parallel, a.ProjectColumns, a.DisableCoalesce)
 	out := make([]Task, 0, len(tasks))
 	for _, at := range tasks {
 		at := at

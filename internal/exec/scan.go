@@ -168,7 +168,7 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 			// replicas for a replicated column) so each task's range lies
 			// wholly in one partition. Replica slices are weighted by current
 			// MC utilization so loaded sockets receive less of the fan-out.
-			hint := env.hint()
+			hint := p.Hint()
 			if s.Table.NumParts() > 1 {
 				hint = hint / s.Table.NumParts()
 				if hint < 1 {

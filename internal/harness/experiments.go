@@ -136,6 +136,9 @@ func init() {
 	register(Experiment{ID: "delta-merge", Title: "Delta-store write path: append, scan degradation, merge, recovery (Sections 2 + 7)",
 		Description: "Mixed read/write skew on the main/delta architecture: an update-heavy write mix grows a hot column's uncompressed per-socket delta until scans degrade, the write-aware placer fires a background merge that rebuilds the main and restores throughput, and the write-guard reclaims the replicas of a column that turned write-hot.",
 		Run:         runDeltaMerge})
+	register(Experiment{ID: "admission", Title: "Statement admission control and elastic concurrency (front-end QoS)",
+		Description: "Multi-tenant open-loop overload at >2x engine capacity (greedy, bursty, well-behaved, and writer tenants): weighted-fair admission, saturation-driven elastic concurrency and task granularity, and per-class deadline shedding keep p99 bounded and goodput near the weight shares, while the queues-only engine grows its backlog and tail without bound.",
+		Run:         runAdmission})
 	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
 		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
 		Run:         runStarJoin})

@@ -43,6 +43,18 @@ type Counters struct {
 	// executing tasks; CPU load is this over window x hardware contexts.
 	WorkerBusySeconds float64
 
+	// Scheduler saturation signals, sampled by the sched watchdog each run
+	// (Section 5.1's watchdog observability, consumed by the admission
+	// controller's reports): SatSamples counts samples, the sums divide by it
+	// for means, and SatTGMaxDepth is the deepest single-thread-group queue
+	// seen in any sample.
+	SatSamples     uint64
+	SatFreeSum     float64 // free workers summed over samples
+	SatParkedSum   float64 // parked workers summed over samples
+	SatQueueSum    float64 // machine-wide queued tasks summed over samples
+	SatTGMaxDepth  int     // deepest single-TG queue observed
+	SatUnsaturated uint64  // samples with an unsaturated TG that had queued tasks
+
 	latencies []float64
 }
 
@@ -81,6 +93,54 @@ func (c *Counters) AddCompute(socket int, instructions, cycles float64) {
 	c.BusyCycles[socket] += cycles
 }
 
+// AddSaturationSample records one scheduler saturation observation: the
+// free and parked worker counts and the per-thread-group queue depths at the
+// sampling instant. unsaturated reports whether any thread group had idle
+// workers alongside queued tasks (the watchdog's wake-a-thread condition).
+func (c *Counters) AddSaturationSample(free, parked int, tgDepths []int, unsaturated bool) {
+	c.SatSamples++
+	c.SatFreeSum += float64(free)
+	c.SatParkedSum += float64(parked)
+	total := 0
+	for _, d := range tgDepths {
+		total += d
+		if d > c.SatTGMaxDepth {
+			c.SatTGMaxDepth = d
+		}
+	}
+	c.SatQueueSum += float64(total)
+	if unsaturated {
+		c.SatUnsaturated++
+	}
+}
+
+// MeanFreeWorkers returns the mean free-worker count over the saturation
+// samples (0 when nothing was sampled).
+func (c *Counters) MeanFreeWorkers() float64 {
+	if c.SatSamples == 0 {
+		return 0
+	}
+	return c.SatFreeSum / float64(c.SatSamples)
+}
+
+// MeanParkedWorkers returns the mean parked-worker count over the saturation
+// samples.
+func (c *Counters) MeanParkedWorkers() float64 {
+	if c.SatSamples == 0 {
+		return 0
+	}
+	return c.SatParkedSum / float64(c.SatSamples)
+}
+
+// MeanQueuedTasks returns the mean machine-wide task-queue depth over the
+// saturation samples.
+func (c *Counters) MeanQueuedTasks() float64 {
+	if c.SatSamples == 0 {
+		return 0
+	}
+	return c.SatQueueSum / float64(c.SatSamples)
+}
+
 // AddLatency records a completed query latency in seconds.
 func (c *Counters) AddLatency(seconds float64) {
 	c.latencies = append(c.latencies, seconds)
@@ -104,6 +164,12 @@ func (c *Counters) Reset() {
 	c.TasksStolen = 0
 	c.QueriesDone = 0
 	c.WorkerBusySeconds = 0
+	c.SatSamples = 0
+	c.SatFreeSum = 0
+	c.SatParkedSum = 0
+	c.SatQueueSum = 0
+	c.SatTGMaxDepth = 0
+	c.SatUnsaturated = 0
 	c.latencies = c.latencies[:0]
 }
 
@@ -129,11 +195,13 @@ func (c *Counters) IPC() float64 {
 	return ins / cyc
 }
 
-// LatencyStats summarizes the latency distribution.
+// LatencyStats summarizes the latency distribution. P99 is the tail the
+// admission-control experiments bound under overload.
 type LatencyStats struct {
 	N                        int
 	Mean, Min, Max           float64
 	P5, P25, P50, P75, P95   float64
+	P99                      float64
 	StdDev, CoeffOfVariation float64
 }
 
@@ -173,7 +241,91 @@ func (c *Counters) Latencies() LatencyStats {
 	return LatencyStats{
 		N: n, Mean: mean, Min: sorted[0], Max: sorted[n-1],
 		P5: pct(5), P25: pct(25), P50: pct(50), P75: pct(75), P95: pct(95),
+		P99:    pct(99),
 		StdDev: sd, CoeffOfVariation: cv,
+	}
+}
+
+// Histogram records a scalar sample stream (latencies, waits) for exact
+// percentile reporting. The simulator has perfect knowledge, so samples are
+// kept exactly rather than bucketed; Percentile sorts lazily. The admission
+// controller and the multi-tenant workload generator keep one per tenant.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Record appends one sample.
+func (h *Histogram) Record(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.sortSamples()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0..100) with linear interpolation
+// between order statistics, or 0 when no samples were recorded.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.sortSamples()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	idx := p / 100 * float64(n-1)
+	lo := int(idx)
+	if lo >= n-1 {
+		return h.samples[n-1]
+	}
+	frac := idx - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[lo+1]*frac
+}
+
+// P50 returns the median.
+func (h *Histogram) P50() float64 { return h.Percentile(50) }
+
+// P99 returns the 99th percentile — the tail metric the admission
+// experiment bounds.
+func (h *Histogram) P99() float64 { return h.Percentile(99) }
+
+// Reset drops all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+}
+
+// sortSamples lazily orders the samples for the percentile accessors.
+func (h *Histogram) sortSamples() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
 	}
 }
 

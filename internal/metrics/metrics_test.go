@@ -113,3 +113,88 @@ func TestReset(t *testing.T) {
 		t.Fatalf("reset incomplete: %+v", c)
 	}
 }
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	if h.P50() != 0 || h.P99() != 0 || h.N() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	// 1..100 in shuffled-ish order: percentiles must not depend on insertion
+	// order.
+	for i := 0; i < 100; i++ {
+		h.Record(float64((i*37)%100 + 1))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.P50(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 50.5", got)
+	}
+	if got := h.P99(); math.Abs(got-99.01) > 1e-9 {
+		t.Fatalf("p99 = %v, want 99.01", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Recording after a percentile query invalidates the sort cache.
+	h.Record(1000)
+	if got := h.Max(); got != 1000 {
+		t.Fatalf("max after late record = %v", got)
+	}
+	h.Reset()
+	if h.N() != 0 || h.P99() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestLatencyStatsP99(t *testing.T) {
+	c := New(1)
+	for i := 1; i <= 200; i++ {
+		c.AddLatency(float64(i))
+	}
+	ls := c.Latencies()
+	if math.Abs(ls.P99-198.01) > 1e-9 {
+		t.Fatalf("p99 = %v, want 198.01", ls.P99)
+	}
+	if ls.P99 < ls.P95 || ls.P99 > ls.Max {
+		t.Fatalf("p99 %v outside [p95 %v, max %v]", ls.P99, ls.P95, ls.Max)
+	}
+}
+
+func TestSaturationCounters(t *testing.T) {
+	c := New(2)
+	c.AddSaturationSample(10, 2, []int{5, 0, 7, 1}, true)
+	c.AddSaturationSample(0, 0, []int{3, 3, 3, 3}, false)
+	if c.SatSamples != 2 {
+		t.Fatalf("samples = %d", c.SatSamples)
+	}
+	if got := c.MeanFreeWorkers(); got != 5 {
+		t.Fatalf("mean free = %v, want 5", got)
+	}
+	if got := c.MeanParkedWorkers(); got != 1 {
+		t.Fatalf("mean parked = %v, want 1", got)
+	}
+	if got := c.MeanQueuedTasks(); got != 12.5 {
+		t.Fatalf("mean queued = %v, want 12.5 ((13+12)/2)", got)
+	}
+	if c.SatTGMaxDepth != 7 {
+		t.Fatalf("max TG depth = %d, want 7", c.SatTGMaxDepth)
+	}
+	if c.SatUnsaturated != 1 {
+		t.Fatalf("unsaturated = %d, want 1", c.SatUnsaturated)
+	}
+	c.Reset()
+	if c.SatSamples != 0 || c.MeanFreeWorkers() != 0 || c.MeanQueuedTasks() != 0 ||
+		c.SatTGMaxDepth != 0 || c.SatUnsaturated != 0 {
+		t.Fatal("saturation counters survive Reset")
+	}
+}

@@ -61,6 +61,7 @@ const (
 	Inactive
 )
 
+// String names the worker state as in Figure 6.
 func (s State) String() string {
 	switch s {
 	case Working:
@@ -242,6 +243,84 @@ func (s *Scheduler) WorkingWorkers() int {
 	return n
 }
 
+// Saturation is a point-in-time scheduler saturation snapshot: worker-state
+// counts and per-thread-group queue depths. It is the signal the admission
+// controller's elastic concurrency loop feeds on (free workers and shallow
+// queues mean the engine can absorb more statements; deep queues mean the
+// fan-out already outruns the workers) and what the watchdog samples into
+// the metrics counters.
+type Saturation struct {
+	// Working, Free, Parked and Inactive count workers by state.
+	Working, Free, Parked, Inactive int
+	// QueueDepths holds each thread group's queued tasks (normal + hard), in
+	// TG id order.
+	QueueDepths []int
+	// Queued is the machine-wide queued-task total (the sum of QueueDepths).
+	Queued int
+}
+
+// Workers returns the total worker count of the snapshot.
+func (s Saturation) Workers() int { return s.Working + s.Free + s.Parked + s.Inactive }
+
+// Saturation takes a saturation snapshot of all thread groups.
+func (s *Scheduler) Saturation() Saturation {
+	snap := Saturation{QueueDepths: make([]int, len(s.TGs))}
+	for i, tg := range s.TGs {
+		d := tg.QueuedTasks()
+		snap.QueueDepths[i] = d
+		snap.Queued += d
+		for _, w := range tg.Workers {
+			switch w.State {
+			case Working:
+				snap.Working++
+			case Free:
+				snap.Free++
+			case Parked:
+				snap.Parked++
+			case Inactive:
+				snap.Inactive++
+			}
+		}
+	}
+	return snap
+}
+
+// FreeWorkers returns the number of workers in the Free state.
+func (s *Scheduler) FreeWorkers() int {
+	n := 0
+	for _, tg := range s.TGs {
+		for _, w := range tg.Workers {
+			if w.State == Free {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ParkedWorkers returns the number of workers in the Parked state.
+func (s *Scheduler) ParkedWorkers() int {
+	n := 0
+	for _, tg := range s.TGs {
+		for _, w := range tg.Workers {
+			if w.State == Parked {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SocketQueueDepths returns the queued-task count per socket (thread-group
+// depths folded onto their sockets).
+func (s *Scheduler) SocketQueueDepths() []int {
+	out := make([]int, len(s.bySocket))
+	for _, tg := range s.TGs {
+		out[tg.Socket] += tg.QueuedTasks()
+	}
+	return out
+}
+
 // Tick implements sim.Actor: the main dispatch loop. It mirrors the worker
 // main loop of Section 5.1 — peek own queues, then the other TGs of the same
 // socket (including their hard queues), then go around the normal queues of
@@ -354,9 +433,11 @@ func (s *Scheduler) finish(w *Worker) {
 // watchdog mirrors the paper's watchdog thread: it scans thread groups,
 // counts unsaturated TGs that still have queued tasks (in the real system it
 // would wake or create threads; in the simulation every hardware context
-// already has a worker, so this is observability), and updates statistics.
+// already has a worker, so this is observability), samples the saturation
+// signals into the metrics counters, and updates statistics.
 func (s *Scheduler) watchdog() {
 	s.WatchdogRuns++
+	unsaturated := false
 	for _, tg := range s.TGs {
 		working := 0
 		for _, w := range tg.Workers {
@@ -366,8 +447,11 @@ func (s *Scheduler) watchdog() {
 		}
 		if working < len(tg.Workers) && tg.QueuedTasks() > 0 {
 			s.UnsaturatedObserved++
+			unsaturated = true
 		}
 	}
+	snap := s.Saturation()
+	s.Counters.AddSaturationSample(snap.Free, snap.Parked, snap.QueueDepths, unsaturated)
 }
 
 // taskHeap is a priority heap ordered by (Priority, seq).

@@ -137,6 +137,9 @@ type ClientsConfig struct {
 	Strategy    core.Strategy
 	Chooser     Chooser
 	Seed        int64
+	// Tenant tags every query with an admission tenant (relevant only when
+	// the engine runs with an admission controller).
+	Tenant string
 }
 
 // Clients drives N closed-loop clients: each client issues a query and, on
@@ -195,7 +198,9 @@ func (c *Clients) issue(client int) {
 		Parallel:    c.cfg.Parallel,
 		Strategy:    c.cfg.Strategy,
 		HomeSocket:  client % c.engine.Machine.Sockets,
+		Tenant:      c.cfg.Tenant,
 		OnDone:      func(float64) { c.issue(client) },
+		OnShed:      func() { c.issue(client) },
 	})
 }
 
@@ -225,6 +230,12 @@ type WritersConfig struct {
 	// choices) — independent of the scan clients' stream, so attaching
 	// writers never perturbs a fixed-seed read workload's RNG draws.
 	Seed int64
+	// Tenant routes each tick's write batch through the engine's admission
+	// controller (when enabled) as a short Interactive-class statement of
+	// this tenant: the batch's mutations are deferred until admitted, and
+	// the Interactive deadline can shed the whole batch. Empty keeps the
+	// direct-apply path.
+	Tenant string
 }
 
 // Writers drives the write mix as a simulation actor: each tick it applies
@@ -240,9 +251,12 @@ type Writers struct {
 	rng     *rand.Rand
 	carry   float64
 
-	// Inserts and Updates count the writes applied so far.
-	Inserts uint64
-	Updates uint64
+	// Inserts and Updates count the writes applied so far; ShedBatches
+	// counts admitted-path batches dropped by load shedding (per-batch
+	// latency histograms live on the controller's tenant stats).
+	Inserts     uint64
+	Updates     uint64
+	ShedBatches uint64
 }
 
 // NewWriters creates the writer population over a placed single-part table.
@@ -281,10 +295,19 @@ func (w *Writers) Tick(now float64) {
 			sockets[i] = i
 		}
 	}
+	// Plan this step's writes up front (all RNG draws happen here, so the
+	// admitted path consumes the identical random stream as direct apply).
+	type write struct {
+		col    *colstore.Column
+		socket int
+		row    int // -1 for inserts
+		v      int64
+	}
 	type batchKey struct {
 		col    *colstore.Column
 		socket int
 	}
+	writes := make([]write, 0, n)
 	batch := make(map[batchKey]int)
 	for i := 0; i < n; i++ {
 		col := w.columns[w.cfg.Chooser.Pick(w.rng, len(w.columns))]
@@ -297,21 +320,49 @@ func (w *Writers) Tick(now float64) {
 			}
 		}
 		v := w.rng.Int63n(domain)
+		row := -1
 		if w.rng.Float64() < w.cfg.UpdateFraction {
-			w.engine.ApplyUpdate(col, socket, w.rng.Intn(col.Rows), v)
-			w.Updates++
-		} else {
-			w.engine.ApplyInsert(col, socket, v)
-			w.Inserts++
+			row = w.rng.Intn(col.Rows)
 		}
+		writes = append(writes, write{col, socket, row, v})
 		batch[batchKey{col, socket}]++
 	}
-	// Deterministic flow emission order: column order, then socket.
-	for _, col := range w.columns {
-		for s := 0; s < w.engine.Machine.Sockets; s++ {
-			if rows := batch[batchKey{col, s}]; rows > 0 {
-				w.engine.AddWriteTraffic(col, s, rows)
+	// apply performs the mutations and starts one batched traffic flow per
+	// touched (column, socket) fragment, in deterministic order; done fires
+	// when the last flow drains.
+	apply := func(done func()) {
+		for _, wr := range writes {
+			if wr.row >= 0 {
+				w.engine.ApplyUpdate(wr.col, wr.socket, wr.row, wr.v)
+				w.Updates++
+			} else {
+				w.engine.ApplyInsert(wr.col, wr.socket, wr.v)
+				w.Inserts++
+			}
+		}
+		outstanding := 0
+		for _, rows := range batch {
+			if rows > 0 {
+				outstanding++
+			}
+		}
+		oneDone := func() {
+			outstanding--
+			if outstanding == 0 {
+				done()
+			}
+		}
+		for _, col := range w.columns {
+			for s := 0; s < w.engine.Machine.Sockets; s++ {
+				if rows := batch[batchKey{col, s}]; rows > 0 {
+					w.engine.AddWriteTrafficDone(col, s, rows, oneDone)
+				}
 			}
 		}
 	}
+	if w.cfg.Tenant != "" && w.engine.Admit != nil {
+		w.engine.SubmitWrite(w.cfg.Tenant, func() { w.ShedBatches++ }, apply)
+		return
+	}
+	apply(func() {})
 }

@@ -40,6 +40,7 @@ package numacs
 
 import (
 	"numacs/internal/adaptive"
+	"numacs/internal/admit"
 	"numacs/internal/agg"
 	"numacs/internal/colstore"
 	"numacs/internal/core"
@@ -291,6 +292,37 @@ type Writers = workload.Writers
 func NewWriters(e *Engine, t *Table, cfg WritersConfig) *Writers {
 	return workload.NewWriters(e, t, cfg)
 }
+
+// MultiTenantConfig configures the multi-tenant statement generator:
+// open-loop arrival rates with bursts, closed-loop clients with think
+// times, per tenant.
+type MultiTenantConfig = workload.MultiTenantConfig
+
+// TenantLoad describes one tenant of the multi-tenant generator.
+type TenantLoad = workload.TenantLoad
+
+// MultiTenant drives the multi-tenant mix; register it with
+// engine.Sim.AddActor and call Start.
+type MultiTenant = workload.MultiTenant
+
+// NewMultiTenant creates the multi-tenant generator over a placed table.
+func NewMultiTenant(e *Engine, t *Table, cfg MultiTenantConfig) *MultiTenant {
+	return workload.NewMultiTenant(e, t, cfg)
+}
+
+// Admission control (front-end QoS layer) -----------------------------------------------
+
+// AdmitConfig tunes the statement-admission controller: tenant weights,
+// elastic concurrency bounds, saturation watermarks, per-class shedding
+// deadlines.
+type AdmitConfig = admit.Config
+
+// AdmitController is the admission front end; enable it with
+// Engine.EnableAdmission and tag queries with Query.Tenant.
+type AdmitController = admit.Controller
+
+// AdmitTenantSpec registers one tenant's fair-share weight.
+type AdmitTenantSpec = admit.TenantSpec
 
 // AggClients drives TPC-H-Q1-style or BW-EML-style aggregation clients.
 type AggClients = agg.Clients
