@@ -7,12 +7,18 @@
 //	scanbench -exp fig8
 //	scanbench -all
 //	scanbench -exp fig12 -scale quick
+//	scanbench -exp shared-scan -scale quick -json
 //
-// Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// -list prints one registered experiment id per line, so scripts (and the
+// CI experiment loop) can enumerate every experiment without a hand-kept
+// list; -json emits each report as a JSON document instead of rendered
+// tables — the format the CI bench job archives into the BENCH_<run>.json
+// perf-trajectory artifact. Each experiment prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,16 +30,17 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		exp   = flag.String("exp", "", "experiment id to run (comma-separated for several)")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.String("scale", "full", "experiment scale: full or quick")
+		list    = flag.Bool("list", false, "print registered experiment ids, one per line, and exit")
+		exp     = flag.String("exp", "", "experiment id to run (comma-separated for several)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.String("scale", "full", "experiment scale: full or quick")
+		jsonOut = flag.Bool("json", false, "emit each report as JSON instead of rendered tables")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, e := range harness.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		for _, id := range harness.IDs() {
+			fmt.Println(id)
 		}
 		return
 	}
@@ -60,6 +67,8 @@ func main() {
 		os.Exit(2)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	for _, id := range ids {
 		e, ok := harness.ByID(strings.TrimSpace(id))
 		if !ok {
@@ -68,6 +77,15 @@ func main() {
 		}
 		start := time.Now()
 		rep := e.Run(sc)
+		if *jsonOut {
+			// Keep stdout pure JSON; the timing note goes to stderr.
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "encoding %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[%s: %s scale, wall %.1fs]\n", e.ID, sc.Name, time.Since(start).Seconds())
+			continue
+		}
 		fmt.Println(rep.Render())
 		fmt.Printf("[%s: %s scale, wall %.1fs]\n\n", e.ID, sc.Name, time.Since(start).Seconds())
 	}

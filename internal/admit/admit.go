@@ -344,6 +344,12 @@ func (c *Controller) control(now float64) {
 	})
 }
 
+// DeadlineFor returns the class's shedding deadline in virtual seconds (0 =
+// none) — exported so the shared-scan cohort layer can extend the admission
+// latency contract into its join window: a statement that would blow its
+// class deadline waiting for a cohort is shed there too.
+func (c *Controller) DeadlineFor(cl Class) float64 { return c.deadline(cl) }
+
 // deadline returns the class's shedding deadline (0 = none).
 func (c *Controller) deadline(cl Class) float64 {
 	if cl == Interactive {

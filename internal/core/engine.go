@@ -18,6 +18,7 @@ import (
 	"numacs/internal/metrics"
 	"numacs/internal/placement"
 	"numacs/internal/sched"
+	"numacs/internal/sharedscan"
 	"numacs/internal/sim"
 	"numacs/internal/topology"
 
@@ -112,6 +113,15 @@ type Engine struct {
 	// means direct dispatch — the pre-admission engine, unchanged.
 	Admit *admit.Controller
 
+	// Shared is the optional scan-cohort registry (EnableSharedScans wires
+	// one). When set, shareable scans — parallel, index-free,
+	// single-predicate statements over single-part tables — route through
+	// it: concurrent scans of the same column merge into cohorts that pay
+	// one physical memory pass for all member predicates. Nil means every
+	// statement traverses its column privately — the pre-sharing engine,
+	// unchanged.
+	Shared *sharedscan.Registry
+
 	env              *exec.Env
 	rng              *rand.Rand
 	activeStatements int
@@ -177,6 +187,20 @@ func (e *Engine) EnableAdmission(cfg admit.Config) *admit.Controller {
 	e.Sim.AddActor(c)
 	e.Admit = c
 	return c
+}
+
+// EnableSharedScans puts a scan-cohort registry on the engine's Submit path
+// and registers it as a simulation actor: concurrent shareable scans of the
+// same column merge into cohorts that share one physical pass. It returns
+// the registry for stats. Call it once, before submitting statements.
+func (e *Engine) EnableSharedScans(cfg sharedscan.Config) *sharedscan.Registry {
+	if e.Shared != nil {
+		panic("core: shared scans already enabled")
+	}
+	r := sharedscan.New(cfg, e.env, e.Sim)
+	e.Sim.AddActor(r)
+	e.Shared = r
+	return r
 }
 
 // ActiveStatements returns the number of in-flight queries.
@@ -271,22 +295,31 @@ func (e *Engine) Submit(q *Query) {
 			Class:  q.Class,
 			OnShed: q.OnShed,
 			Run: func(gran int, issuedAt float64, done func()) {
-				e.submitQuery(q, gran, issuedAt, func(lat float64) {
-					done()
-					if q.OnDone != nil {
-						q.OnDone(lat)
-					}
-				})
+				e.submitQuery(q, gran, issuedAt, done)
 			},
 		})
 		return
 	}
-	e.submitQuery(q, 0, e.Sim.Now(), q.OnDone)
+	e.submitQuery(q, 0, e.Sim.Now(), nil)
 }
 
 // submitQuery builds and dispatches the query's operator pipeline with the
-// given fan-out cap and statement timestamp.
-func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, onDone func(latency float64)) {
+// given fan-out cap and statement timestamp. release, when non-nil, frees
+// the statement's admission-concurrency slot; it runs before the query's own
+// completion (or shed) callback.
+func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, release func()) {
+	onDone := func(lat float64) {
+		if release != nil {
+			release()
+		}
+		if q.OnDone != nil {
+			q.OnDone(lat)
+		}
+	}
+	if e.Shared != nil && e.shareableScan(q) {
+		e.submitShared(q, gran, issuedAt, onDone, release)
+		return
+	}
 	scan := &exec.ScanOp{
 		Table:                 q.Table,
 		Column:                q.Column,
@@ -295,25 +328,7 @@ func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, onDone func(l
 		UseIndex:              q.UseIndex,
 		Parallel:              q.Parallel,
 	}
-	var second exec.Operator
-	if q.Aggregate {
-		second = &exec.AggregateOp{
-			Source:          scan,
-			BytesPerRow:     q.AggBytesPerRow,
-			CyclesPerRow:    q.AggCyclesPerRow,
-			ProjectColumns:  q.ProjectColumns,
-			Parallel:        q.Parallel,
-			DisableCoalesce: e.DisableCoalesce,
-		}
-	} else {
-		second = &exec.MaterializeOp{
-			Scan:            scan,
-			ProjectColumns:  q.ProjectColumns,
-			Parallel:        q.Parallel,
-			DisableCoalesce: e.DisableCoalesce,
-		}
-	}
-	e.SubmitPipelineAt(q.Strategy, q.HomeSocket, gran, issuedAt, onDone, scan, second)
+	e.SubmitPipelineAt(q.Strategy, q.HomeSocket, gran, issuedAt, onDone, scan, e.secondOp(q, scan))
 }
 
 // SubmitPipeline executes composed operators as one SQL statement: the fixed

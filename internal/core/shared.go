@@ -1,0 +1,95 @@
+package core
+
+// The engine's shared-scan path: shareable statements are handed to the
+// sharedscan.Registry as cohort members instead of building a private
+// ScanOp. The member carries everything the registry needs to assemble the
+// statement's pipeline — the predicate, the scheduling parameters, the
+// output-phase factory, and the lifecycle hooks — so the registry can merge
+// concurrent same-column scans into one physical pass while every statement
+// keeps its own latency, logical traffic, and completion callbacks.
+
+import (
+	"numacs/internal/exec"
+	"numacs/internal/sharedscan"
+	"numacs/internal/sim"
+)
+
+// shareableScan reports whether a query can join a scan cohort: an
+// intra-parallel, index-free, single-predicate scan of a single-part table.
+// Unparallelized scans (the Figure 10 single-task path), index lookups,
+// multi-predicate statements, and physically partitioned tables keep the
+// private path.
+func (e *Engine) shareableScan(q *Query) bool {
+	return q.Parallel && !q.UseIndex &&
+		len(q.ExtraPredicateColumns) == 0 && q.Table.NumParts() == 1
+}
+
+// submitShared dispatches a shareable query through the cohort registry:
+// the fixed per-query overhead runs first (as on the private path), then
+// the statement joins the registry's lifecycle for its column. The member's
+// shed deadline extends the admission class deadline into the join window;
+// a shed frees the admission slot and fires q.OnShed.
+func (e *Engine) submitShared(q *Query, gran int, issuedAt float64, onDone func(latency float64), release func()) {
+	deadline := 0.0
+	if e.Admit != nil {
+		if d := e.Admit.DeadlineFor(q.Class); d > 0 {
+			deadline = issuedAt + d
+		}
+	}
+	e.activeStatements++
+	m := &sharedscan.Member{
+		Key:         q.Table.Name + "." + q.Column,
+		Table:       q.Table,
+		Column:      q.Column,
+		Selectivity: q.Selectivity,
+		Strategy:    q.Strategy,
+		HomeSocket:  q.HomeSocket,
+		MaxFanout:   gran,
+		IssuedAt:    issuedAt,
+		Deadline:    deadline,
+		SecondOp:    func(src exec.RegionSource) exec.Operator { return e.secondOp(q, src) },
+		OnDone: func(lat float64) {
+			e.activeStatements--
+			onDone(lat)
+		},
+		OnShed: func() {
+			e.activeStatements--
+			if release != nil {
+				release()
+			}
+			if q.OnShed != nil {
+				q.OnShed()
+			}
+		},
+	}
+	// Phase 0: the same fixed per-query overhead as SubmitPipelineAt, on the
+	// client's connection thread; the statement joins its cohort only once
+	// parse/plan/session work is paid.
+	e.Sim.StartFlow(&sim.Flow{
+		Remaining: e.Costs.QueryOverheadSeconds,
+		RateCap:   1,
+		OnDone:    func() { e.Shared.Submit(m) },
+	})
+}
+
+// secondOp builds the query's output phase over the given find-phase
+// regions — the same materialization or aggregation operator the private
+// path composes.
+func (e *Engine) secondOp(q *Query, src exec.RegionSource) exec.Operator {
+	if q.Aggregate {
+		return &exec.AggregateOp{
+			Source:          src,
+			BytesPerRow:     q.AggBytesPerRow,
+			CyclesPerRow:    q.AggCyclesPerRow,
+			ProjectColumns:  q.ProjectColumns,
+			Parallel:        q.Parallel,
+			DisableCoalesce: e.DisableCoalesce,
+		}
+	}
+	return &exec.MaterializeOp{
+		Scan:            src,
+		ProjectColumns:  q.ProjectColumns,
+		Parallel:        q.Parallel,
+		DisableCoalesce: e.DisableCoalesce,
+	}
+}

@@ -56,6 +56,35 @@ type Costs struct {
 	// DeltaWriteBytesPerRow is the DRAM traffic one delta append generates:
 	// the entry itself plus amortized fragment-local dictionary maintenance.
 	DeltaWriteBytesPerRow float64
+	// SharedPredCyclesPerByte is the marginal compute of each ADDITIONAL
+	// predicate a shared scan pass evaluates per chunk: the pass unpacks the
+	// bit-compressed values once (ScanCyclesPerByte, load + decode
+	// dominated) and then runs one SIMD range-compare per further member on
+	// the decoded registers — far cheaper than a full private scan kernel,
+	// which is what makes cohort sharing pay beyond two members.
+	SharedPredCyclesPerByte float64
+	// SharedPredInstrPerByte is the IPC-proxy counterpart of the marginal
+	// predicate evaluation.
+	SharedPredInstrPerByte float64
+}
+
+// SharedScanCyclesPerByte returns the per-byte compute of an n-predicate
+// shared scan pass: one decode plus n-1 marginal predicate evaluations.
+func (c *Costs) SharedScanCyclesPerByte(n int) float64 {
+	return c.ScanCyclesPerByte + float64(n-1)*c.SharedPredCyclesPerByte
+}
+
+// SharedScanInstrPerByte returns the instructions-per-byte proxy of an
+// n-predicate shared scan pass.
+func (c *Costs) SharedScanInstrPerByte(n int) float64 {
+	return c.ScanInstrPerByte + float64(n-1)*c.SharedPredInstrPerByte
+}
+
+// SharedDeltaCyclesPerByte returns the per-byte compute of an n-predicate
+// shared delta-fragment scan: the uncompressed row is loaded once and each
+// further member adds a marginal compare.
+func (c *Costs) SharedDeltaCyclesPerByte(n int) float64 {
+	return c.DeltaScanCyclesPerByte + float64(n-1)*c.SharedPredCyclesPerByte
 }
 
 // DefaultCosts returns the calibrated defaults.
@@ -76,5 +105,7 @@ func DefaultCosts() Costs {
 		BitvectorSelectivity:      0.02,
 		DeltaScanCyclesPerByte:    1.0,
 		DeltaWriteBytesPerRow:     16,
+		SharedPredCyclesPerByte:   0.1,
+		SharedPredInstrPerByte:    0.2,
 	}
 }

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"testing"
+
+	"numacs/internal/core"
+	"numacs/internal/sharedscan"
+	"numacs/internal/workload"
+)
+
+// TestSharedScanBypassBitIdentical pins the bypass guarantee: an uncontended
+// scan — no other statement concurrently forming, running, or attachable on
+// its column — launches immediately as a cohort of one whose pass plans the
+// identical tasks, draws the identical RNG stream, and starts the identical
+// flows as the private ScanOp path. A sharing-enabled engine driving one
+// closed-loop client must therefore equal the sharing-disabled engine on
+// every counter and on the full latency distribution, bit for bit.
+func TestSharedScanBypassBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-seed simulation runs")
+	}
+	run := func(sharing bool) *core.Engine {
+		e := core.NewWithStep(FourSocket.Build(), 1, 25e-6)
+		table := workload.Generate(workload.DatasetConfig{
+			Rows: 60_000, Columns: 16, BitcaseMin: 12, BitcaseMax: 18,
+			Seed: 1, Synthetic: true,
+		})
+		e.Placer.PlaceRR(table)
+		if sharing {
+			e.EnableSharedScans(sharedscan.Config{})
+		}
+		clients := workload.NewClients(e, table, workload.ClientsConfig{
+			N: 1, Selectivity: 1e-5, Parallel: true, Strategy: core.Bound, Seed: 3,
+		})
+		clients.Start()
+		e.Sim.Run(0.08)
+		return e
+	}
+	direct := run(false)
+	shared := run(true)
+
+	// Every statement must have taken the solo-launch bypass.
+	st := shared.Shared.Stats()
+	if st.Statements == 0 || st.Solo != st.Passes || st.Merged+st.Attached+st.Shed != 0 {
+		t.Fatalf("uncontended run did not stay on the bypass path: %+v", st)
+	}
+
+	d, s := direct.Counters, shared.Counters
+	if d.QueriesDone != s.QueriesDone || d.TasksExecuted != s.TasksExecuted ||
+		d.TasksStolen != s.TasksStolen {
+		t.Fatalf("counts drifted: direct {q %d, tasks %d, stolen %d} vs shared {q %d, tasks %d, stolen %d}",
+			d.QueriesDone, d.TasksExecuted, d.TasksStolen,
+			s.QueriesDone, s.TasksExecuted, s.TasksStolen)
+	}
+	if d.TotalMCBytes() != s.TotalMCBytes() || d.LLCLocal != s.LLCLocal ||
+		d.LLCRemote != s.LLCRemote || d.LinkDataBytes != s.LinkDataBytes ||
+		d.LinkTotalBytes != s.LinkTotalBytes {
+		t.Fatalf("traffic drifted: direct {MC %v, LLC %v/%v, link %v/%v} vs shared {MC %v, LLC %v/%v, link %v/%v}",
+			d.TotalMCBytes(), d.LLCLocal, d.LLCRemote, d.LinkDataBytes, d.LinkTotalBytes,
+			s.TotalMCBytes(), s.LLCLocal, s.LLCRemote, s.LinkDataBytes, s.LinkTotalBytes)
+	}
+	if d.IPC() != s.IPC() || d.WorkerBusySeconds != s.WorkerBusySeconds {
+		t.Fatalf("compute drifted: IPC %v vs %v, busy %v vs %v",
+			d.IPC(), s.IPC(), d.WorkerBusySeconds, s.WorkerBusySeconds)
+	}
+	if d.Latencies() != s.Latencies() {
+		t.Fatalf("latency distribution drifted:\n direct %+v\n shared %+v",
+			d.Latencies(), s.Latencies())
+	}
+}
+
+// checkSharedScanCriteria asserts the shared-scan acceptance criteria at one
+// simulator scale: with at least 8 concurrent same-column scans, cohort
+// sharing must deliver >=2x statement throughput AND <=0.5x physical MC
+// bytes per statement vs the sharing-disabled control — the win has to be
+// real memory traffic, not a scheduling or step-quantization artifact.
+func checkSharedScanCriteria(t *testing.T, s Scale) {
+	t.Helper()
+	for _, clients := range []int{16, 32} {
+		off := RunSharedScan(s, false, clients)
+		on := RunSharedScan(s, true, clients)
+		if off.QueriesDone == 0 || on.QueriesDone == 0 {
+			t.Fatalf("%d clients: no statements completed (off %d, on %d)",
+				clients, off.QueriesDone, on.QueriesDone)
+		}
+		if on.QPM < 2*off.QPM {
+			t.Errorf("%d clients: shared throughput %.0f q/min < 2x unshared %.0f",
+				clients, on.QPM, off.QPM)
+		}
+		if on.BytesPerQuery > 0.5*off.BytesPerQuery {
+			t.Errorf("%d clients: shared MC bytes/query %.0f > 0.5x unshared %.0f",
+				clients, on.BytesPerQuery, off.BytesPerQuery)
+		}
+		// The mechanism must actually engage: most statements share a pass.
+		if on.MeanCohort < 2 {
+			t.Errorf("%d clients: mean cohort %.1f < 2 — passes are not shared",
+				clients, on.MeanCohort)
+		}
+		if st := on.Cohorts; st.Merged+st.Attached == 0 {
+			t.Errorf("%d clients: no statements merged or attached (%+v)", clients, st)
+		}
+	}
+}
+
+// TestSharedScanSpeedupQuick asserts the acceptance criteria at the quick
+// scale's 25 us simulator step.
+func TestSharedScanSpeedupQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shared-scan simulation sweep")
+	}
+	checkSharedScanCriteria(t, QuickScale())
+}
+
+// TestSharedScanSpeedupFull asserts the acceptance criteria at the full
+// scale's 5 us simulator step (the step-size robustness check: quick-scale
+// dispatch quantization must not be what produces the win).
+func TestSharedScanSpeedupFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shared-scan simulation sweep at full scale")
+	}
+	checkSharedScanCriteria(t, FullScale())
+}

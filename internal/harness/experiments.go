@@ -139,6 +139,9 @@ func init() {
 	register(Experiment{ID: "admission", Title: "Statement admission control and elastic concurrency (front-end QoS)",
 		Description: "Multi-tenant open-loop overload at >2x engine capacity (greedy, bursty, well-behaved, and writer tenants): weighted-fair admission, saturation-driven elastic concurrency and task granularity, and per-class deadline shedding keep p99 bounded and goodput near the weight shares, while the queues-only engine grows its backlog and tail without bound.",
 		Run:         runAdmission})
+	register(Experiment{ID: "shared-scan", Title: "Shared scan cohorts: one memory pass for N concurrent scans",
+		Description: "A same-column hot-scan mix on the 4-socket machine with the cohort layer on vs off: concurrent scans of one column merge into cohorts (bounded join window, ClockScan-style mid-flight attach) that stream the column once and evaluate all member predicates per chunk, cutting physical MC bytes per statement while every statement keeps its logical traffic and truthful latency.",
+		Run:         runSharedScan})
 	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
 		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
 		Run:         runStarJoin})

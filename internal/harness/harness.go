@@ -17,12 +17,17 @@ import (
 type MachineKind int
 
 const (
+	// FourSocket is the paper's main 4-socket IvyBridge-EX machine (Table 1).
 	FourSocket MachineKind = iota
+	// EightSocket is the 8-socket broadcast-snoop Westmere-EX machine.
 	EightSocket
+	// SixteenSocket is half of the rack-scale machine (Section 6.3).
 	SixteenSocket
+	// ThirtyTwoSocket is the SGI UV 300 rack-scale machine.
 	ThirtyTwoSocket
 )
 
+// String names the machine as the paper's evaluation does.
 func (k MachineKind) String() string {
 	switch k {
 	case FourSocket:
@@ -58,8 +63,11 @@ func (k MachineKind) Build() *topology.Machine {
 type PlacementKind int
 
 const (
+	// RR is round-robin whole-column placement (Section 4.1).
 	RR PlacementKind = iota
+	// IVP partitions the indexvector across sockets (Section 4.2).
 	IVP
+	// PP physically partitions table, dictionaries included (Section 4.2).
 	PP
 )
 
@@ -69,6 +77,8 @@ type PlacementSpec struct {
 	Partitions int
 }
 
+// String renders the placement as the experiment tables label it (RR,
+// IVP<n>, PP<n>).
 func (p PlacementSpec) String() string {
 	switch p.Kind {
 	case RR:

@@ -128,6 +128,17 @@ func (h HotColumnChoice) Pick(rng *rand.Rand, columns int) int {
 	return rng.Intn(columns)
 }
 
+// FixedColumnChoice always picks the same column — the same-column hot-scan
+// mix of the shared-scan experiment, where every client hammers one
+// read-hot column and cohorts can merge all concurrent passes.
+type FixedColumnChoice struct {
+	// Col is the index of the column every client queries.
+	Col int
+}
+
+// Pick implements Chooser.
+func (f FixedColumnChoice) Pick(_ *rand.Rand, columns int) int { return f.Col % columns }
+
 // ClientsConfig configures the closed-loop client population.
 type ClientsConfig struct {
 	N           int

@@ -53,6 +53,7 @@ import (
 	"numacs/internal/placement"
 	"numacs/internal/psm"
 	"numacs/internal/sched"
+	"numacs/internal/sharedscan"
 	"numacs/internal/sim"
 	"numacs/internal/topology"
 	"numacs/internal/workload"
@@ -323,6 +324,27 @@ type AdmitController = admit.Controller
 
 // AdmitTenantSpec registers one tenant's fair-share weight.
 type AdmitTenantSpec = admit.TenantSpec
+
+// Shared scan cohorts ---------------------------------------------------------------------
+
+// SharedScanConfig tunes the scan-cohort registry: join window, mid-flight
+// attach bound, cohort size cap.
+type SharedScanConfig = sharedscan.Config
+
+// SharedScanRegistry is the cohort layer merging concurrent same-column
+// scans into one physical pass; enable it with Engine.EnableSharedScans.
+type SharedScanRegistry = sharedscan.Registry
+
+// SharedScanStats counts cohort outcomes (passes, merged members,
+// mid-flight attaches, wrap passes, join-window sheds).
+type SharedScanStats = sharedscan.Stats
+
+// SharedScanOp is the cohort find phase: one pass, N member predicates.
+type SharedScanOp = exec.SharedScanOp
+
+// FixedColumnChoice makes every client scan the same column — the
+// same-column hot-scan mix of the shared-scan experiment.
+type FixedColumnChoice = workload.FixedColumnChoice
 
 // AggClients drives TPC-H-Q1-style or BW-EML-style aggregation clients.
 type AggClients = agg.Clients
