@@ -1,0 +1,168 @@
+// Command benchdiff is the CI perf-regression gate for the colstore batch
+// kernels. It parses two sets of Go benchmark output — the previous main
+// run's (stored inside its BENCH_<run>.json artifact) and the current run's —
+// reduces each benchmark's repeats to the fastest pass of its ns/row metric,
+// and fails (exit 1) when any benchmark common to both runs slowed down by
+// more than the threshold. The minimum over -count repeats is what makes the
+// gate usable on shared CI runners: scheduler noise only ever makes a pass
+// slower, so the per-run minimum is the low-noise estimate of the kernel's
+// true speed.
+//
+// Either input may be raw `go test -bench` text or a BENCH_<run>.json file
+// (detected by a leading '{'), in which case the "kernel_bench" field holds
+// the raw text. Missing inputs and disjoint benchmark sets soft-pass with a
+// warning, so the first run on a fresh repository (no prior artifact) does
+// not fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricUnit is the per-row throughput metric the kernel benchmarks report
+// via b.ReportMetric; ns/op would also track allocation-heavy fixture noise.
+const metricUnit = "ns/row"
+
+// extractRaw returns the raw benchmark text held in data: JSON artifacts
+// (leading '{') contribute their "kernel_bench" field, anything else is
+// already raw text.
+func extractRaw(data []byte) (string, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if !strings.HasPrefix(trimmed, "{") {
+		return string(data), nil
+	}
+	var artifact struct {
+		KernelBench string `json:"kernel_bench"`
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		return "", fmt.Errorf("parse artifact JSON: %w", err)
+	}
+	return artifact.KernelBench, nil
+}
+
+// parseBench extracts the ns/row metric from Go benchmark output, keyed by
+// benchmark name with the -GOMAXPROCS suffix stripped, keeping the minimum
+// across repeated lines (-count repeats).
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// After the iteration count, measurements come in "value unit" pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			if f[i+1] != metricUnit {
+				continue
+			}
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad %s value %q", name, metricUnit, f[i])
+			}
+			if prev, ok := out[name]; !ok || v < prev {
+				out[name] = v
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// regression is one benchmark's prev-vs-curr comparison.
+type regression struct {
+	name       string
+	prev, curr float64
+}
+
+func (r regression) delta() float64 { return r.curr/r.prev - 1 }
+
+// compare returns the comparisons for every benchmark present in both runs,
+// sorted by name.
+func compare(prev, curr map[string]float64) []regression {
+	var out []regression
+	for name, p := range prev {
+		if c, ok := curr[name]; ok && p > 0 {
+			out = append(out, regression{name: name, prev: p, curr: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := extractRaw(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m, err := parseBench(strings.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func run(prevPath, currPath string, threshold float64, stdout io.Writer) int {
+	prev, err := loadMetrics(prevPath)
+	if err != nil {
+		fmt.Fprintf(stdout, "::warning::benchdiff: cannot load previous run (%v); perf gate soft-passes\n", err)
+		return 0
+	}
+	curr, err := loadMetrics(currPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: cannot load current run: %v\n", err)
+		return 2
+	}
+	common := compare(prev, curr)
+	if len(common) == 0 {
+		fmt.Fprintf(stdout, "::warning::benchdiff: no benchmarks common to both runs (prev has %d, curr has %d); perf gate soft-passes\n", len(prev), len(curr))
+		return 0
+	}
+	failed := 0
+	for _, r := range common {
+		status := "ok"
+		if r.delta() > threshold {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(stdout, "%-60s prev %8.3f  curr %8.3f  %+7.1f%%  %s\n",
+			r.name, r.prev, r.curr, r.delta()*100, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d of %d benchmarks regressed by more than %.0f%% (%s)\n",
+			failed, len(common), threshold*100, metricUnit)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d benchmarks within %.0f%% of the previous run\n", len(common), threshold*100)
+	return 0
+}
+
+func main() {
+	prevPath := flag.String("prev", "", "previous run: BENCH_<run>.json artifact or raw benchmark text")
+	currPath := flag.String("curr", "", "current run: raw benchmark text or BENCH_<run>.json")
+	threshold := flag.Float64("threshold", 0.10, "fail when curr/prev - 1 exceeds this fraction")
+	flag.Parse()
+	if *currPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -curr is required")
+		os.Exit(2)
+	}
+	os.Exit(run(*prevPath, *currPath, *threshold, os.Stdout))
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: numacs/internal/colstore
+BenchmarkScanPositions/bits=4-4         	     100	  12000 ns/op	         0.450 ns/row
+BenchmarkScanPositions/bits=4-4         	     100	  13000 ns/op	         0.520 ns/row
+BenchmarkScanPositions/bits=4-4         	     100	  11000 ns/op	         0.430 ns/row
+BenchmarkScanPositions/bits=12-4        	      50	  30000 ns/op	         1.100 ns/row
+BenchmarkSharedPred/bits=4/n=8-4        	      20	  90000 ns/op	         2.300 ns/row
+BenchmarkNoRowMetric-4                  	     100	   5000 ns/op
+PASS
+`
+
+// TestParseBenchMinOverRepeats: repeats reduce to the fastest pass, the
+// GOMAXPROCS suffix is stripped, and benchmarks without the ns/row metric are
+// ignored.
+func TestParseBenchMinOverRepeats(t *testing.T) {
+	m, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(m), m)
+	}
+	if got := m["BenchmarkScanPositions/bits=4"]; got != 0.430 {
+		t.Fatalf("min over repeats = %v, want 0.430", got)
+	}
+	if got := m["BenchmarkSharedPred/bits=4/n=8"]; got != 2.300 {
+		t.Fatalf("shared pred = %v, want 2.300", got)
+	}
+	if _, ok := m["BenchmarkNoRowMetric"]; ok {
+		t.Fatal("benchmark without ns/row metric must be ignored")
+	}
+}
+
+// TestExtractRawFromArtifact: a BENCH_<run>.json artifact contributes its
+// kernel_bench field; raw text passes through unchanged.
+func TestExtractRawFromArtifact(t *testing.T) {
+	artifact, _ := json.Marshal(map[string]any{
+		"run": 7, "commit": "abc", "kernel_bench": sampleBench,
+	})
+	raw, err := extractRaw(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != sampleBench {
+		t.Fatal("kernel_bench field not extracted")
+	}
+	raw, err = extractRaw([]byte(sampleBench))
+	if err != nil || raw != sampleBench {
+		t.Fatalf("raw text must pass through: %v", err)
+	}
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsOnRegression: a >10% ns/row slowdown on a common benchmark
+// exits 1; a speedup or small drift exits 0.
+func TestGateFailsOnRegression(t *testing.T) {
+	prev := writeFile(t, "prev.txt",
+		"BenchmarkScanPositions/bits=4-4 100 1000 ns/op 0.500 ns/row\n")
+	slow := writeFile(t, "slow.txt",
+		"BenchmarkScanPositions/bits=4-4 100 1000 ns/op 0.600 ns/row\n")
+	fast := writeFile(t, "fast.txt",
+		"BenchmarkScanPositions/bits=4-4 100 1000 ns/op 0.520 ns/row\n")
+	var sb strings.Builder
+	if code := run(prev, slow, 0.10, &sb); code != 1 {
+		t.Fatalf("20%% regression: exit %d, want 1\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", sb.String())
+	}
+	sb.Reset()
+	if code := run(prev, fast, 0.10, &sb); code != 0 {
+		t.Fatalf("4%% drift: exit %d, want 0\n%s", code, sb.String())
+	}
+}
+
+// TestGateSoftPasses: a missing previous artifact or disjoint benchmark sets
+// must warn and exit 0 — the first main run has nothing to compare against.
+func TestGateSoftPasses(t *testing.T) {
+	curr := writeFile(t, "curr.txt",
+		"BenchmarkScanPositions/bits=4-4 100 1000 ns/op 0.500 ns/row\n")
+	var sb strings.Builder
+	if code := run(filepath.Join(t.TempDir(), "absent.json"), curr, 0.10, &sb); code != 0 {
+		t.Fatalf("missing prev: exit %d, want 0\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "::warning::") {
+		t.Fatalf("missing prev must warn:\n%s", sb.String())
+	}
+	sb.Reset()
+	prev := writeFile(t, "prev.txt",
+		"BenchmarkSomethingElse-4 100 1000 ns/op 0.500 ns/row\n")
+	if code := run(prev, curr, 0.10, &sb); code != 0 {
+		t.Fatalf("disjoint sets: exit %d, want 0\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "::warning::") {
+		t.Fatalf("disjoint sets must warn:\n%s", sb.String())
+	}
+}
+
+// TestGateRenamedSuffix: prev stored with a different GOMAXPROCS suffix still
+// matches — the suffix is stripped on both sides.
+func TestGateRenamedSuffix(t *testing.T) {
+	prev := writeFile(t, "prev.txt",
+		"BenchmarkScanPositions/bits=4-16 100 1000 ns/op 0.500 ns/row\n")
+	curr := writeFile(t, "curr.txt",
+		"BenchmarkScanPositions/bits=4-2 100 1000 ns/op 0.490 ns/row\n")
+	var sb strings.Builder
+	if code := run(prev, curr, 0.10, &sb); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "1 benchmarks within") {
+		t.Fatalf("suffix-stripped names must compare:\n%s", sb.String())
+	}
+}

@@ -240,11 +240,21 @@ func Build(name string, values []int64, withIndex bool) *Column {
 	return c
 }
 
-// BuildIndex constructs the inverted index from the IV.
+// BuildIndex constructs the inverted index from the IV. Both passes (the
+// vid histogram and the postings fill) decode the IV one batch at a time
+// instead of one Get per row.
 func (c *Column) BuildIndex() {
+	var codes [BatchSize]uint32
 	counts := make([]uint32, len(c.Dict)+1)
-	for i := 0; i < c.Rows; i++ {
-		counts[c.IVec.Get(i)+1]++
+	for base := 0; base < c.Rows; base += BatchSize {
+		n := c.Rows - base
+		if n > BatchSize {
+			n = BatchSize
+		}
+		c.IVec.UnpackBatch(base, codes[:n])
+		for _, vid := range codes[:n] {
+			counts[vid+1]++
+		}
 	}
 	for i := 1; i < len(counts); i++ {
 		counts[i] += counts[i-1]
@@ -254,10 +264,16 @@ func (c *Column) BuildIndex() {
 	postings := make([]uint32, c.Rows)
 	next := make([]uint32, len(c.Dict))
 	copy(next, offsets[:len(c.Dict)])
-	for i := 0; i < c.Rows; i++ {
-		vid := c.IVec.Get(i)
-		postings[next[vid]] = uint32(i)
-		next[vid]++
+	for base := 0; base < c.Rows; base += BatchSize {
+		n := c.Rows - base
+		if n > BatchSize {
+			n = BatchSize
+		}
+		c.IVec.UnpackBatch(base, codes[:n])
+		for i, vid := range codes[:n] {
+			postings[next[vid]] = uint32(base + i)
+			next[vid]++
+		}
 	}
 	c.Idx = &Index{Offsets: offsets, Postings: postings}
 }
@@ -317,10 +333,62 @@ func (c *Column) IndexLookupPositions(loVid, hiVid uint32, out []uint32) []uint3
 
 // Materialize decodes the values at the given IV positions into out
 // (dictionary random accesses; the output-materialization phase of Section
-// 5.2). out must have len(positions) capacity.
+// 5.2). out must have len(positions) capacity. Dense ascending runs — the
+// common case, since find-phase position lists come out sorted — are decoded
+// with one batch unpack of the covering row window and a gather over the
+// decoded codes; sparse or unsorted stretches (index lookups emit vid-major
+// order) fall back to per-row decode, where batching would stream more codes
+// than it saves.
 func (c *Column) Materialize(positions []uint32, out []int64) {
+	var codes [BatchSize]uint32
+	n := len(positions)
+	i := 0
+	for i < n {
+		// Extend a strictly-ascending run whose window fits one batch.
+		first := positions[i]
+		j := i + 1
+		for j < n && positions[j] > positions[j-1] && positions[j]-first < BatchSize {
+			j++
+		}
+		count := j - i
+		window := int(positions[j-1]-first) + 1
+		if count >= 16 && count*2 >= window {
+			c.IVec.UnpackBatch(int(first), codes[:window])
+			for k := i; k < j; k++ {
+				out[k] = c.Dict[codes[positions[k]-first]]
+			}
+		} else {
+			for k := i; k < j; k++ {
+				out[k] = c.Dict[c.IVec.Get(int(positions[k]))]
+			}
+		}
+		i = j
+	}
+}
+
+// materializeScalar is the retained scalar reference for Materialize.
+func (c *Column) materializeScalar(positions []uint32, out []int64) {
 	for i, p := range positions {
 		out[i] = c.Dict[c.IVec.Get(int(p))]
+	}
+}
+
+// MaterializeRange decodes the values of rows [from, to) into out — the
+// contiguous bulk-decode used by delta merges and snapshot materialization:
+// one batch unpack per BatchSize rows plus a dictionary gather, instead of a
+// per-row IV probe. out must have to-from capacity.
+func (c *Column) MaterializeRange(from, to int, out []int64) {
+	var codes [BatchSize]uint32
+	for base := from; base < to; base += BatchSize {
+		n := to - base
+		if n > BatchSize {
+			n = BatchSize
+		}
+		c.IVec.UnpackBatch(base, codes[:n])
+		o := out[base-from:]
+		for i, vid := range codes[:n] {
+			o[i] = c.Dict[vid]
+		}
 	}
 }
 
@@ -368,7 +436,10 @@ func (c *Column) VisibleRows() int {
 }
 
 // ValueWithDelta returns the current value of a main row: the latest visible
-// delta update when one exists, the main's value otherwise.
+// delta update when one exists, the main's value otherwise. This is the
+// point-lookup form; bulk consumers use ValuesWithDelta, which decodes the
+// main store one batch at a time and touches the delta once instead of once
+// per row.
 func (c *Column) ValueWithDelta(row int) int64 {
 	if c.Delta != nil {
 		if v, ok := c.Delta.LatestUpdate(row); ok {
@@ -378,11 +449,69 @@ func (c *Column) ValueWithDelta(row int) int64 {
 	return c.Value(row)
 }
 
+// ValuesWithDelta decodes the current values of main rows [from, to) into
+// out: the main store portion is batch-decoded (one unpack per BatchSize
+// rows), and the delta's latest visible updates are overlaid only on the
+// rows that actually have one — rows with no overlay never pay a per-row
+// delta probe or a per-row IV decode. out must have to-from capacity.
+func (c *Column) ValuesWithDelta(from, to int, out []int64) {
+	c.MaterializeRange(from, to, out)
+	if c.Delta == nil {
+		return
+	}
+	for row, u := range c.Delta.UpdatesIn(c.Delta.Snapshot()) {
+		if row >= from && row < to {
+			out[row-from] = u
+		}
+	}
+}
+
 // CountMatchesWithDelta counts the visible rows whose current value falls in
 // [loVal, hiVal]: main rows with their latest update applied, plus visible
 // delta inserts. This is the functional union-scan kernel the examples and
 // tests verify the merge against (the harness uses analytic counts instead).
 func (c *Column) CountMatchesWithDelta(loVal, hiVal int64) int {
+	// Main store: encode the value predicate to a vid window once and run
+	// the batched compare-on-codes counting kernel — no per-row dictionary
+	// decode. Rows with a visible update are then corrected individually:
+	// their main contribution is retracted and the update's value counted
+	// instead.
+	var updates map[int]int64
+	if c.Delta != nil {
+		updates = c.Delta.UpdatesIn(c.Delta.Snapshot())
+	}
+	n := 0
+	loVid, hiVid, ok := c.EncodePredicate(loVal, hiVal)
+	if ok {
+		n = c.IVec.CountRange(loVid, hiVid, 0, c.Rows)
+	}
+	for row, u := range updates {
+		if row >= c.Rows {
+			continue
+		}
+		if ok {
+			if v := c.Value(row); v >= loVal && v <= hiVal {
+				n--
+			}
+		}
+		if u >= loVal && u <= hiVal {
+			n++
+		}
+	}
+	if c.Delta != nil {
+		for _, v := range c.Delta.AppendVisibleInserts(nil) {
+			if v >= loVal && v <= hiVal {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// countMatchesWithDeltaScalar is the retained scalar reference for
+// CountMatchesWithDelta: per-row decode with the update overlay applied
+// inline.
+func (c *Column) countMatchesWithDeltaScalar(loVal, hiVal int64) int {
 	var updates map[int]int64
 	if c.Delta != nil {
 		updates = c.Delta.UpdatesIn(c.Delta.Snapshot())
@@ -417,6 +546,25 @@ func (c *Column) MergedValuesAt(snap delta.Snapshot) []int64 {
 	if c.Synthetic {
 		panic("colstore: MergedValuesAt on a synthetic column")
 	}
+	// Main store: one batched decode of the whole row range, then the
+	// snapshot's updates overlaid only on the rows that have one — the rows
+	// without an overlay (almost all of them) never pay a per-row IV probe
+	// or map lookup.
+	out := make([]int64, c.Rows, c.Rows+snap.TotalInserts())
+	c.MaterializeRange(0, c.Rows, out)
+	if c.Delta != nil {
+		for row, u := range c.Delta.UpdatesIn(snap) {
+			if row < c.Rows {
+				out[row] = u
+			}
+		}
+		out = c.Delta.AppendInsertsIn(snap, out)
+	}
+	return out
+}
+
+// mergedValuesAtScalar is the retained scalar reference for MergedValuesAt.
+func (c *Column) mergedValuesAtScalar(snap delta.Snapshot) []int64 {
 	var updates map[int]int64
 	if c.Delta != nil {
 		updates = c.Delta.UpdatesIn(snap)

@@ -52,22 +52,31 @@ func (c *Column) EncodeInList(values []int64) *VidSet {
 }
 
 // ScanInList appends the positions in [from, to) whose vid is in the set —
-// the complex-predicate scan kernel.
+// the complex-predicate scan kernel, batched: each BatchSize batch is
+// unpacked once and the set probe runs over the decoded codes (InListSelect).
 func (v *PackedVector) ScanInList(set *VidSet, from, to int, out []uint32) []uint32 {
-	bits := uint64(v.bits)
-	mask := uint64(1)<<bits - 1
-	bitPos := uint64(from) * bits
-	for i := from; i < to; i++ {
-		word := bitPos / 64
-		off := bitPos % 64
-		x := v.words[word] >> off
-		if off+bits > 64 {
-			x |= v.words[word+1] << (64 - off)
+	var codes [BatchSize]uint32
+	var sel [BatchSize]uint16
+	for base := from; base < to; base += BatchSize {
+		n := to - base
+		if n > BatchSize {
+			n = BatchSize
 		}
-		if set.Contains(uint32(x & mask)) {
+		v.UnpackBatch(base, codes[:n])
+		k := InListSelect(codes[:n], set, sel[:])
+		for _, s := range sel[:k] {
+			out = append(out, uint32(base)+uint32(s))
+		}
+	}
+	return out
+}
+
+// scanInListScalar is the retained scalar reference for ScanInList.
+func (v *PackedVector) scanInListScalar(set *VidSet, from, to int, out []uint32) []uint32 {
+	for i := from; i < to; i++ {
+		if set.Contains(v.Get(i)) {
 			out = append(out, uint32(i))
 		}
-		bitPos += bits
 	}
 	return out
 }

@@ -17,22 +17,30 @@ type RLEVector struct {
 	Vids   []uint32 // len = runs
 }
 
-// BuildRLE run-length-encodes a packed vector.
+// BuildRLE run-length-encodes a packed vector, decoding it one batch at a
+// time (UnpackBatch) and detecting run breaks on the decoded codes.
 func BuildRLE(iv *PackedVector) *RLEVector {
 	r := &RLEVector{n: iv.Len()}
 	if iv.Len() == 0 {
 		r.Starts = []uint32{0}
 		return r
 	}
+	var codes [BatchSize]uint32
 	cur := iv.Get(0)
 	r.Starts = append(r.Starts, 0)
 	r.Vids = append(r.Vids, cur)
-	for i := 1; i < iv.Len(); i++ {
-		v := iv.Get(i)
-		if v != cur {
-			r.Starts = append(r.Starts, uint32(i))
-			r.Vids = append(r.Vids, v)
-			cur = v
+	for base := 0; base < iv.Len(); base += BatchSize {
+		n := iv.Len() - base
+		if n > BatchSize {
+			n = BatchSize
+		}
+		iv.UnpackBatch(base, codes[:n])
+		for i, v := range codes[:n] {
+			if v != cur {
+				r.Starts = append(r.Starts, uint32(base+i))
+				r.Vids = append(r.Vids, v)
+				cur = v
+			}
 		}
 	}
 	r.Starts = append(r.Starts, uint32(iv.Len()))
