@@ -256,7 +256,7 @@ func (p *Placer) Tick(now float64) {
 		delta[s] = cur[s] - p.lastMC[s]
 		p.lastMC[s] = cur[s]
 	}
-	hot, cold := argmax(delta), argmin(delta)
+	hot, cold := argmax(delta), p.coldestOnline(delta)
 	traffic := e.ItemTraffic()
 	defer e.ResetItemTraffic()
 
@@ -274,7 +274,8 @@ func (p *Placer) Tick(now float64) {
 	// heuristics fold grown deltas back into the main.
 	p.reclaimWriteHot(now, traffic)
 	p.triggerMerges(now, traffic)
-	if delta[hot] > p.Cfg.ImbalanceRatio*maxf(delta[cold], total/float64(len(delta))/4) {
+	if cold >= 0 && cold != hot &&
+		delta[hot] > p.Cfg.ImbalanceRatio*maxf(delta[cold], total/float64(len(delta))/4) {
 		p.rebalance(now, hot, cold, delta[hot], traffic)
 		return
 	}
@@ -558,20 +559,29 @@ func currentIVSockets(col *colstore.Column) []int {
 	return out
 }
 
-func argmax(v []float64) int {
-	best := 0
-	for i, x := range v {
-		if x > v[best] {
-			best = i
+// coldestOnline returns the socket with the least last-period traffic whose
+// worker pool is online, or -1 when no socket is. Every lever places data on
+// the cold socket, so a socket taken down by fault injection must never be
+// the target: data moved there could only be served remotely, and the scans
+// the placer is trying to localize would chase it off-socket. With every
+// socket online this is exactly argmin (same first-index tie-break).
+func (p *Placer) coldestOnline(v []float64) int {
+	best := -1
+	for s, x := range v {
+		if !p.Engine.Sched.SocketOnline(s) {
+			continue
+		}
+		if best < 0 || x < v[best] {
+			best = s
 		}
 	}
 	return best
 }
 
-func argmin(v []float64) int {
+func argmax(v []float64) int {
 	best := 0
 	for i, x := range v {
-		if x < v[best] {
+		if x > v[best] {
 			best = i
 		}
 	}

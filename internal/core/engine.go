@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"numacs/internal/admit"
+	"numacs/internal/chaos"
 	"numacs/internal/exec"
 	"numacs/internal/hw"
 	"numacs/internal/metrics"
@@ -122,6 +123,13 @@ type Engine struct {
 	// unchanged.
 	Shared *sharedscan.Registry
 
+	// Chaos is the optional fault injector (EnableChaos wires one). When set,
+	// a scheduled fault script runs against the engine mid-simulation: sockets
+	// go offline and return, memory controllers and links throttle. Nil — or
+	// an empty schedule — leaves every execution path bit-identical to the
+	// pre-chaos engine (the hooks are capacity writes and a nil check).
+	Chaos *chaos.Injector
+
 	env              *exec.Env
 	rng              *rand.Rand
 	activeStatements int
@@ -201,6 +209,28 @@ func (e *Engine) EnableSharedScans(cfg sharedscan.Config) *sharedscan.Registry {
 	e.Sim.AddActor(r)
 	e.Shared = r
 	return r
+}
+
+// EnableChaos registers a fault injector driven by the declarative schedule
+// and returns it for assertions on the applied-fault log. tables lists the
+// tables whose columns socket faults invalidate replicas of. Call it once,
+// before running the simulation; an empty schedule is a valid (and inert)
+// configuration, pinned bit-identical to the pre-chaos engine by the harness
+// golden test.
+func (e *Engine) EnableChaos(cfg chaos.Config, tables ...*colstore.Table) *chaos.Injector {
+	if e.Chaos != nil {
+		panic("core: chaos already enabled")
+	}
+	var cols []*colstore.Column
+	for _, t := range tables {
+		for _, p := range t.Parts {
+			cols = append(cols, p.Columns...)
+		}
+	}
+	in := chaos.New(cfg, e.HW, e.Sched, e.Placer, cols)
+	e.Sim.AddActor(in)
+	e.Chaos = in
+	return in
 }
 
 // ActiveStatements returns the number of in-flight queries.

@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"numacs/internal/colstore"
+)
+
+// TestSharedPredCostDerivation pins SharedPredCyclesPerByte to the kernel it
+// models instead of to a hand-set guess. The constant is the marginal cost of
+// one ADDITIONAL predicate in a shared pass, so it falls out of the measured
+// shared/private throughput ratio r of an n-member cohort:
+//
+//	shared cycles/byte = Scan * n * r = Scan + (n-1) * SharedPred
+//	=> SharedPred = Scan * (n*r - 1) / (n - 1)
+//
+// The cheap half of the test always runs and asserts the shipped constant
+// sits in the physically meaningful band: above ~0.05 (a marginal compare is
+// not free) and below 0.3 (well under the 0.5 of a full private scan kernel —
+// otherwise sharing could never pay). The measurement half re-derives the
+// constant from the real kernel at the benchmark bitcase and checks the
+// shipped value against the measured band; it is timing-sensitive, so it is
+// skipped in -short runs (the -race CI job) like the other kernel-speedup
+// tests.
+func TestSharedPredCostDerivation(t *testing.T) {
+	c := DefaultCosts()
+	if c.SharedPredCyclesPerByte < 0.05 || c.SharedPredCyclesPerByte > 0.3 {
+		t.Errorf("SharedPredCyclesPerByte %.3f outside the derivation band [0.05, 0.3]",
+			c.SharedPredCyclesPerByte)
+	}
+	if got, want := c.SharedPredInstrPerByte/c.SharedPredCyclesPerByte,
+		c.ScanInstrPerByte/c.ScanCyclesPerByte; got != want {
+		t.Errorf("marginal-predicate instr/cycle ratio %.2f != scan kernel's %.2f", got, want)
+	}
+
+	if testing.Short() {
+		t.Skip("timing-sensitive: measurement half skipped in -short runs")
+	}
+
+	const (
+		nPreds = 8
+		rows   = 1 << 20
+		bc     = 12
+	)
+	max := uint32(1)<<bc - 1
+	v := colstore.NewPackedVector(bc, rows)
+	s := uint32(12345)
+	for i := 0; i < rows; i++ {
+		s = s*1664525 + 1013904223
+		v.Set(i, s&max)
+	}
+	// Near-zero-selectivity windows (0.1% each): the benchmark's default
+	// 10% windows spend much of the pass appending qualifying positions,
+	// which the simulator charges separately per match (OutBytesPerMatch,
+	// the materialization phase) — the constant being derived is the
+	// decode-once/compare-many marginal only.
+	preds := make([]colstore.SharedRange, nPreds)
+	for i := range preds {
+		lo := max / nPreds * uint32(i)
+		preds[i] = colstore.SharedRange{Lo: lo, Hi: lo + max/1000}
+	}
+	outs := make([][]uint32, nPreds)
+
+	// Interleave the two sides and keep each one's fastest pass, the same
+	// noise discipline as the colstore kernel-speedup tests.
+	var private, shared float64
+	for rep := 0; rep < 6; rep++ {
+		t0 := time.Now()
+		for m, pr := range preds {
+			outs[m] = v.ScanRange(pr.Lo, pr.Hi, 0, rows, outs[m][:0])
+		}
+		dp := time.Since(t0).Seconds()
+		t0 = time.Now()
+		for m := range outs {
+			outs[m] = outs[m][:0]
+		}
+		outs = v.ScanShared(preds, 0, rows, outs)
+		ds := time.Since(t0).Seconds()
+		if rep == 0 || dp < private {
+			private = dp
+		}
+		if rep == 0 || ds < shared {
+			shared = ds
+		}
+	}
+
+	r := shared / private
+	derived := c.ScanCyclesPerByte * (nPreds*r - 1) / (nPreds - 1)
+	t.Logf("bitcase %d, n=%d: shared/private ratio %.3f => derived marginal cost %.3f cycles/byte (shipped %.3f)",
+		bc, nPreds, r, derived, c.SharedPredCyclesPerByte)
+	if derived < 0.05 || derived > 0.3 {
+		t.Errorf("measured derivation %.3f outside [0.05, 0.3] — kernel ratio drifted; re-derive the constant", derived)
+	}
+	if c.SharedPredCyclesPerByte < 0.5*derived || c.SharedPredCyclesPerByte > 1.5*derived {
+		t.Errorf("shipped SharedPredCyclesPerByte %.3f is not within 50%% of the measured derivation %.3f",
+			c.SharedPredCyclesPerByte, derived)
+	}
+}

@@ -1,0 +1,326 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"numacs/internal/adaptive"
+	"numacs/internal/admit"
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/delta"
+	"numacs/internal/sharedscan"
+	"numacs/internal/workload"
+)
+
+// Workload-shaped chaos scenarios: the fault is adversarial traffic rather
+// than broken hardware — an antagonist tenant thrashing column heat to
+// defeat replication, a write storm racing background merges under shared
+// scans, and arrival bursts aimed at the shared-scan join window. The
+// control runs carry the same tenants with the adversarial behaviour turned
+// off, so the degradation invariants compare like against like.
+
+// chaosAdmissionConfig is the admission contract the multi-tenant chaos
+// scenarios run under (mirrors the admission experiment's tuning).
+func chaosAdmissionConfig(s Scale, tenants []admit.TenantSpec) admit.Config {
+	return admit.Config{
+		Tenants:             tenants,
+		MinConcurrent:       4,
+		HighQueuePerWorker:  0.5,
+		LowQueuePerWorker:   0.25,
+		OLAPDeadline:        s.Measure / 10,
+		InteractiveDeadline: s.Measure / 40,
+	}
+}
+
+// ---- chaos-antagonist: heat thrashing vs the replication lever -------------
+
+const (
+	chaosVictimTenant     = "victim"
+	chaosAntagonistTenant = "antagonist"
+)
+
+// rotatingHotChoice concentrates picks on a hot column that changes every
+// window — the heat-thrashing antagonist. By the time the adaptive placer
+// has observed a column as hot and replicated it, the antagonist has already
+// moved on, so every replica decision is stale on arrival.
+type rotatingHotChoice struct {
+	engine *core.Engine
+	window float64
+	p      float64
+}
+
+// Pick implements workload.Chooser.
+func (r rotatingHotChoice) Pick(rng *rand.Rand, columns int) int {
+	if rng.Float64() < r.p {
+		return 1 + int(r.engine.Sim.Now()/r.window)%(columns-1)
+	}
+	return rng.Intn(columns)
+}
+
+// RunChaosAntagonist executes the heat-thrashing scenario: a victim tenant
+// scanning one fixed column and an antagonist tenant three times its size,
+// both under weighted-fair admission with the adaptive placer running. In
+// the control the antagonist's heat is steady (a fixed hot column the placer
+// can serve with replicas); faulted, its hot column rotates every window to
+// defeat replication. The invariants are about the victim: admission must
+// preserve its goodput and latency even while the placer's read-hot signal
+// is being poisoned, and the placer's action churn must stay bounded.
+func RunChaosAntagonist(s Scale, faulted bool) ChaosRun {
+	e := core.NewWithStep(FourSocket.Build(), 1, s.Step)
+	table := workload.Generate(chaosDataset(s))
+	e.Placer.PlaceRR(table)
+
+	window, _ := chaosHorizon(s)
+	cfg := adaptive.DefaultConfig()
+	cfg.Period = window / 4
+	placer := adaptive.New(e, &adaptive.Catalog{Tables: []*colstore.Table{table}}, cfg)
+	e.Sim.AddActor(placer)
+
+	e.EnableAdmission(chaosAdmissionConfig(s, []admit.TenantSpec{
+		{Name: chaosVictimTenant, Weight: 1},
+		{Name: chaosAntagonistTenant, Weight: 1},
+	}))
+
+	var antagonist workload.Chooser = workload.HotColumnChoice{Hot: 8, P: 0.9}
+	label := "steady antagonist (control)"
+	if faulted {
+		antagonist = rotatingHotChoice{engine: e, window: window, p: 0.9}
+		label = "heat-thrashing antagonist"
+	}
+	gen := workload.NewMultiTenant(e, table, workload.MultiTenantConfig{
+		Tenants: []workload.TenantLoad{
+			{Name: chaosVictimTenant, Weight: 1, Clients: 16,
+				Selectivity: lowSel, Parallel: true, Strategy: core.Bound,
+				Chooser: workload.FixedColumnChoice{Col: 0}},
+			{Name: chaosAntagonistTenant, Weight: 1, Clients: 48,
+				Selectivity: lowSel, Parallel: true, Strategy: core.Bound,
+				Chooser: antagonist},
+		},
+		Seed: 5,
+	})
+	e.Sim.AddActor(gen)
+	gen.Start()
+
+	run := ChaosRun{Label: label, Faulted: faulted, Window: window}
+	runChaosWindows(e, &run, window)
+	run.Actions = placer.Actions
+	run.Tenants = gen.Stats()
+	return run
+}
+
+func runChaosAntagonist(s Scale) *Report {
+	rep := &Report{
+		ID:    "chaos-antagonist",
+		Title: "Chaos: antagonist tenant thrashing column heat",
+		Description: "An antagonist tenant rotates its hot column every window so the adaptive " +
+			"placer's replication decisions are stale on arrival; weighted-fair admission must " +
+			"preserve the victim tenant's goodput and the placer's churn must stay bounded.",
+	}
+	control := RunChaosAntagonist(s, false)
+	faulted := RunChaosAntagonist(s, true)
+	chaosReport(rep, control, faulted)
+
+	tt := rep.AddTable("per-tenant outcome", []string{
+		"configuration", "tenant", "issued", "completed", "shed", "p50", "p99"})
+	for _, r := range []ChaosRun{control, faulted} {
+		for _, ts := range r.Tenants {
+			tt.AddRow(r.Label, ts.Name, itoa(int(ts.Issued)), itoa(int(ts.Completed)),
+				itoa(int(ts.Shed)), ms(ts.Lat.P50()), ms(ts.Lat.P99()))
+		}
+	}
+	pa := rep.AddTable("placer churn", []string{"configuration", "actions", "replicates", "drops", "moves"})
+	for _, r := range []ChaosRun{control, faulted} {
+		var repl, drop, move int
+		for _, a := range r.Actions {
+			switch a.Kind {
+			case "replicate":
+				repl++
+			case "drop-replica":
+				drop++
+			case "move", "partition-ivp":
+				move++
+			}
+		}
+		pa.AddRow(r.Label, itoa(len(r.Actions)), itoa(repl), itoa(drop), itoa(move))
+	}
+	return rep
+}
+
+// ---- chaos-writestorm: writes racing merges under shared scans -------------
+
+// RunChaosWriteStorm executes the write-storm scenario: shared scans hammer
+// one column while (faulted only) a socket-0 write storm floods the same
+// column's delta during the fault windows — sized to cross the merge
+// threshold mid-storm, so the background merge races live cohort passes.
+// The write-aware placer owns merge timing exactly as in the delta-merge
+// experiment; the invariants here are that the race resolves (merges
+// complete, every window makes progress) and throughput recovers once the
+// storm passes.
+func RunChaosWriteStorm(s Scale, faulted bool) ChaosRun {
+	e := core.NewWithStep(FourSocket.Build(), 1, s.Step)
+	table := workload.Generate(chaosDataset(s))
+	e.Placer.PlaceRR(table)
+	scanCol := table.Parts[0].Columns[0]
+
+	window, _ := chaosHorizon(s)
+	e.EnableSharedScans(sharedscan.Config{})
+
+	cfg := adaptive.DefaultConfig()
+	cfg.Period = window / 4
+	cfg.ImbalanceRatio = 1e9        // freeze move/partition/replicate: write-path levers only
+	cfg.StaleReplicaFraction = 1e-9 // no replica churn during the storm
+	cfg.MergeDeltaFraction = 0.4
+	cfg.MergeTrafficFraction = 0.9
+	cfg.WriteHotFraction = 0.001
+	placer := adaptive.New(e, &adaptive.Catalog{Tables: []*colstore.Table{table}}, cfg)
+	e.Sim.AddActor(placer)
+
+	label := "fault-free control"
+	if faulted {
+		label = "write storm w4-w6"
+		// Sized to cross the merge threshold roughly mid-storm (cf. the
+		// delta-merge experiment's derivation).
+		thresholdRows := cfg.MergeDeltaFraction * float64(scanCol.IVBytes()) / delta.RowBytes
+		rate := thresholdRows / (1.5 * window) / 0.8
+		writers := workload.NewWriters(e, table, workload.WritersConfig{
+			Rate: rate, UpdateFraction: 0.8,
+			Chooser: workload.FixedColumnChoice{Col: 0},
+			Sockets: []int{0},
+			Start:   float64(chaosFaultWindow) * window,
+			Stop:    float64(chaosClearWindow) * window,
+			Seed:    5,
+		})
+		e.Sim.AddActor(writers)
+	}
+
+	clients := workload.NewClients(e, table, workload.ClientsConfig{
+		N: 32, Selectivity: lowSel, Parallel: true, Strategy: core.Bound,
+		Chooser: workload.FixedColumnChoice{Col: 0}, Seed: 9,
+	})
+	clients.Start()
+
+	run := ChaosRun{Label: label, Faulted: faulted, Window: window}
+	runChaosWindows(e, &run, window)
+	run.Actions = placer.Actions
+	run.Cohorts = e.Shared.Stats()
+	run.Merges = e.MergesCompleted
+	return run
+}
+
+func runChaosWriteStorm(s Scale) *Report {
+	rep := &Report{
+		ID:    "chaos-writestorm",
+		Title: "Chaos: write storm racing background merges under shared scans",
+		Description: "A socket-0 write storm floods the shared-scanned column's delta during the " +
+			"fault windows, forcing a background merge to race live cohort passes; the race must " +
+			"resolve without stalling and throughput must recover after the storm.",
+	}
+	control := RunChaosWriteStorm(s, false)
+	faulted := RunChaosWriteStorm(s, true)
+	chaosReport(rep, control, faulted)
+
+	ws := rep.AddTable("write path and cohorts", []string{
+		"configuration", "merges", "stmts", "passes", "merged", "attached", "wraps"})
+	for _, r := range []ChaosRun{control, faulted} {
+		ws.AddRow(r.Label, itoa(r.Merges), itoa(int(r.Cohorts.Statements)), itoa(int(r.Cohorts.Passes)),
+			itoa(int(r.Cohorts.Merged)), itoa(int(r.Cohorts.Attached)), itoa(int(r.Cohorts.Wraps)))
+	}
+	return rep
+}
+
+// ---- chaos-burst: arrival bursts at the join-window boundary ---------------
+
+const (
+	chaosSteadyTenant = "steady"
+	chaosBurstTenant  = "burster"
+	// chaosBurstJoinWindow pins the registry's join window so the burst
+	// geometry below stays aligned with it at every scale.
+	chaosBurstJoinWindow = 1e-3
+)
+
+// RunChaosBurst executes the burst-arrival scenario: a steady closed-loop
+// tenant shares scans of one column while (faulted only) a burst tenant
+// fires open-loop arrival spikes one join-window long at the same column —
+// each spike lands inside a single cohort-forming window, the worst case for
+// the join-window boundary. Admission and sharing are both on; the
+// invariants are that the spikes collapse into cohorts instead of private
+// passes, and the steady tenant's completion rate and tail survive.
+func RunChaosBurst(s Scale, faulted bool) ChaosRun {
+	e := core.NewWithStep(FourSocket.Build(), 1, s.Step)
+	table := workload.Generate(chaosDataset(s))
+	e.Placer.PlaceRR(table)
+
+	window, _ := chaosHorizon(s)
+	e.EnableSharedScans(sharedscan.Config{JoinWindow: chaosBurstJoinWindow})
+	e.EnableAdmission(chaosAdmissionConfig(s, []admit.TenantSpec{
+		{Name: chaosSteadyTenant, Weight: 2},
+		{Name: chaosBurstTenant, Weight: 1},
+	}))
+
+	burst := workload.BurstSpec{}
+	label := "no bursts (control)"
+	if faulted {
+		// Spikes of ~8 arrivals, each one join window long, every 16 join
+		// windows, phase-offset so they straddle forming-cohort boundaries.
+		burst = workload.BurstSpec{
+			Period:   16 * chaosBurstJoinWindow,
+			Duration: chaosBurstJoinWindow,
+			Factor:   40,
+			Phase:    2.5 * chaosBurstJoinWindow,
+		}
+		label = "join-window bursts"
+	}
+	gen := workload.NewMultiTenant(e, table, workload.MultiTenantConfig{
+		Tenants: []workload.TenantLoad{
+			{Name: chaosSteadyTenant, Weight: 2, Clients: 16,
+				Selectivity: lowSel, Parallel: true, Strategy: core.Bound,
+				Chooser: workload.FixedColumnChoice{Col: 0}},
+			{Name: chaosBurstTenant, Weight: 1, Rate: 200, Burst: burst,
+				Selectivity: lowSel, Parallel: true, Strategy: core.Bound,
+				Chooser: workload.FixedColumnChoice{Col: 0}},
+		},
+		Seed: 5,
+	})
+	e.Sim.AddActor(gen)
+	gen.Start()
+
+	run := ChaosRun{Label: label, Faulted: faulted, Window: window}
+	runChaosWindows(e, &run, window)
+	run.Cohorts = e.Shared.Stats()
+	run.Tenants = gen.Stats()
+	return run
+}
+
+func runChaosBurst(s Scale) *Report {
+	rep := &Report{
+		ID:    "chaos-burst",
+		Title: "Chaos: arrival bursts at the shared-scan join-window boundary",
+		Description: "An open-loop tenant fires arrival spikes exactly one join window long at the " +
+			"shared column; the spikes must collapse into cohorts (not a private-pass stampede) " +
+			"and the steady tenant's completion rate and p99 must survive them.",
+	}
+	control := RunChaosBurst(s, false)
+	faulted := RunChaosBurst(s, true)
+	chaosReport(rep, control, faulted)
+
+	ct := rep.AddTable("cohorts and tenants", []string{
+		"configuration", "stmts", "passes", "solo", "merged", "attached", "mean cohort",
+		"steady done/issued", "burster done/issued"})
+	for _, r := range []ChaosRun{control, faulted} {
+		mean := 0.0
+		if r.Cohorts.Passes > 0 {
+			mean = float64(r.Cohorts.Statements-r.Cohorts.Shed) / float64(r.Cohorts.Passes)
+		}
+		frac := func(ts workload.TenantLoadStats) string {
+			if ts.Issued == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d/%d", ts.Completed, ts.Issued)
+		}
+		ct.AddRow(r.Label, itoa(int(r.Cohorts.Statements)), itoa(int(r.Cohorts.Passes)),
+			itoa(int(r.Cohorts.Solo)), itoa(int(r.Cohorts.Merged)), itoa(int(r.Cohorts.Attached)),
+			f1(mean), frac(r.Tenants[0]), frac(r.Tenants[1]))
+	}
+	return rep
+}

@@ -1,0 +1,348 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"numacs/internal/chaos"
+	"numacs/internal/core"
+	"numacs/internal/workload"
+)
+
+// TestChaosExperimentsRegistered pins the registry contract CI's experiment
+// loop depends on: at least four chaos-* experiments are registered and
+// resolvable by id. (Cheap — runs even under -short.)
+func TestChaosExperimentsRegistered(t *testing.T) {
+	var ids []string
+	for _, id := range IDs() {
+		if strings.HasPrefix(id, "chaos-") {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < 4 {
+		t.Fatalf("only %d chaos-* experiments registered (%v), want >= 4", len(ids), ids)
+	}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("chaos experiment %q not resolvable by id", id)
+		}
+	}
+}
+
+// TestChaosDisabledBitIdentical pins the zero-cost-when-disabled guarantee:
+// an engine with the chaos layer enabled on an EMPTY fault schedule must
+// equal the plain engine on every counter and the full latency distribution,
+// bit for bit. (The injection hooks are a capacity re-read the allocator
+// does anyway and one nil check in the scheduler; an inert injector must not
+// perturb a single allocation, dispatch, or RNG draw.)
+func TestChaosDisabledBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-seed simulation runs")
+	}
+	run := func(withChaos bool) *core.Engine {
+		e := core.NewWithStep(FourSocket.Build(), 1, 25e-6)
+		table := workload.Generate(workload.DatasetConfig{
+			Rows: 60_000, Columns: 16, BitcaseMin: 12, BitcaseMax: 18,
+			Seed: 1, Synthetic: true,
+		})
+		e.Placer.PlaceRR(table)
+		if withChaos {
+			e.EnableChaos(chaos.Config{}, table)
+		}
+		clients := workload.NewClients(e, table, workload.ClientsConfig{
+			N: 64, Selectivity: lowSel, Parallel: true, Strategy: core.Bound, Seed: 3,
+		})
+		clients.Start()
+		e.Sim.Run(0.08)
+		return e
+	}
+	plain := run(false)
+	inert := run(true)
+
+	if got := len(inert.Chaos.Applied); got != 0 {
+		t.Fatalf("inert injector applied %d events", got)
+	}
+	d, s := plain.Counters, inert.Counters
+	if d.QueriesDone != s.QueriesDone || d.TasksExecuted != s.TasksExecuted ||
+		d.TasksStolen != s.TasksStolen {
+		t.Fatalf("counts drifted: plain {q %d, tasks %d, stolen %d} vs chaos-enabled {q %d, tasks %d, stolen %d}",
+			d.QueriesDone, d.TasksExecuted, d.TasksStolen,
+			s.QueriesDone, s.TasksExecuted, s.TasksStolen)
+	}
+	if d.TotalMCBytes() != s.TotalMCBytes() || d.LLCLocal != s.LLCLocal ||
+		d.LLCRemote != s.LLCRemote || d.LinkDataBytes != s.LinkDataBytes ||
+		d.LinkTotalBytes != s.LinkTotalBytes {
+		t.Fatalf("traffic drifted: plain MC %v vs chaos-enabled MC %v",
+			d.TotalMCBytes(), s.TotalMCBytes())
+	}
+	if d.IPC() != s.IPC() || d.WorkerBusySeconds != s.WorkerBusySeconds {
+		t.Fatalf("compute drifted: IPC %v vs %v, busy %v vs %v",
+			d.IPC(), s.IPC(), d.WorkerBusySeconds, s.WorkerBusySeconds)
+	}
+	if d.Latencies() != s.Latencies() {
+		t.Fatalf("latency distribution drifted:\n plain %+v\n chaos-enabled %+v",
+			d.Latencies(), s.Latencies())
+	}
+}
+
+// assertProgress is the livelock/deadlock watchdog: every reporting window
+// of every run must complete at least one statement.
+func assertProgress(t *testing.T, r ChaosRun) {
+	t.Helper()
+	for w, n := range r.Done {
+		if n == 0 {
+			t.Errorf("%s: window %d completed no statements — engine stopped making progress", r.Label, w+1)
+		}
+	}
+}
+
+// checkChaosSocket asserts the socket-failure invariants at one scale.
+func checkChaosSocket(t *testing.T, s Scale) {
+	t.Helper()
+	control := RunChaosSocket(s, false)
+	faulted := RunChaosSocket(s, true)
+	assertProgress(t, control)
+	assertProgress(t, faulted)
+
+	if len(faulted.Injected) != 2 {
+		t.Fatalf("injected %d faults, want offline+online", len(faulted.Injected))
+	}
+	if faulted.Injected[0].ReplicasDropped < 1 {
+		t.Errorf("offline event dropped %d replicas, want >= 1 (the pre-placed socket-1 replica)",
+			faulted.Injected[0].ReplicasDropped)
+	}
+	// Losing one of four sockets costs more than a quarter of throughput
+	// here: the hot column's replica on the dead socket is gone too, so its
+	// scans fall back to remote service. 0.15 is the no-collapse floor at
+	// both steps (measured ~0.50 at 25 us, ~0.23 at 5 us).
+	if r := faulted.FaultTP() / control.FaultTP(); r < 0.15 {
+		t.Errorf("fault-window throughput ratio %.2f < 0.15 — degradation not graceful", r)
+	} else if r > 0.85 {
+		t.Errorf("fault-window throughput ratio %.2f > 0.85 — the fault did not bite", r)
+	}
+	if r := faulted.RecoveryTP() / control.RecoveryTP(); r < 0.8 {
+		t.Errorf("recovery throughput ratio %.2f < 0.8 — no convergence after the socket returned", r)
+	}
+	if faulted.Latency.P99 > 10*control.Latency.P99 {
+		t.Errorf("faulted p99 %.2fms > 10x control %.2fms", faulted.Latency.P99*1e3, control.Latency.P99*1e3)
+	}
+	// The placer must never target the offline socket while it is down...
+	faultAt := float64(chaosFaultWindow) * faulted.Window
+	clearAt := float64(chaosClearWindow) * faulted.Window
+	for _, a := range faulted.Actions {
+		if a.Time >= faultAt && a.Time < clearAt && a.To == chaosSocketVictim {
+			t.Errorf("placer action %q -> socket %d at t=%.1fms while that socket was offline",
+				a.Kind, a.To, a.Time*1e3)
+		}
+	}
+	// ...and must converge: no further re-placement churn after a grace of
+	// two windows past the clear.
+	for _, a := range faulted.Actions {
+		if a.Time >= clearAt+2*faulted.Window {
+			t.Errorf("placer still acting (%q %s) at t=%.1fms, %.1fms after the fault cleared — not converged",
+				a.Kind, a.Column, a.Time*1e3, (a.Time-clearAt)*1e3)
+		}
+	}
+}
+
+// checkChaosThermal asserts the MC-throttling invariants at one scale.
+func checkChaosThermal(t *testing.T, s Scale) {
+	t.Helper()
+	control := RunChaosThermal(s, false)
+	faulted := RunChaosThermal(s, true)
+	assertProgress(t, control)
+	assertProgress(t, faulted)
+
+	if len(faulted.Injected) != 2 {
+		t.Fatalf("injected %d faults, want throttle+restore", len(faulted.Injected))
+	}
+	if r := faulted.FaultTP() / control.FaultTP(); r < 0.2 {
+		t.Errorf("throttled throughput ratio %.2f < 0.2 — collapse, not degradation", r)
+	} else if r > 0.7 {
+		t.Errorf("throttled throughput ratio %.2f > 0.7 — a 30%% MC throttle did not bite", r)
+	}
+	if r := faulted.RecoveryTP() / control.RecoveryTP(); r < 0.85 {
+		t.Errorf("recovery throughput ratio %.2f < 0.85 after the throttle lifted", r)
+	}
+	if faulted.Latency.P99 > 10*control.Latency.P99 {
+		t.Errorf("faulted p99 %.2fms > 10x control %.2fms", faulted.Latency.P99*1e3, control.Latency.P99*1e3)
+	}
+}
+
+// checkChaosAntagonist asserts the heat-thrashing invariants at one scale.
+func checkChaosAntagonist(t *testing.T, s Scale) {
+	t.Helper()
+	control := RunChaosAntagonist(s, false)
+	faulted := RunChaosAntagonist(s, true)
+	assertProgress(t, control)
+	assertProgress(t, faulted)
+
+	cv, fv := control.Tenants[0], faulted.Tenants[0] // the victim tenant
+	if fv.Completed < 3*fv.Issued/4 {
+		t.Errorf("victim completed %d of %d issued under thrashing — admission fairness lost",
+			fv.Completed, fv.Issued)
+	}
+	if float64(fv.Completed) < 0.75*float64(cv.Completed) {
+		t.Errorf("victim goodput %d < 0.75x its control goodput %d", fv.Completed, cv.Completed)
+	}
+	if fv.Lat.P99() > 3*cv.Lat.P99() {
+		t.Errorf("victim p99 %.2fms > 3x control %.2fms", fv.Lat.P99()*1e3, cv.Lat.P99()*1e3)
+	}
+	// The thrash must actually engage the placer's replication lever more
+	// than steady heat does, and the resulting churn must stay bounded (the
+	// placer acts at most a couple of times per balancing period).
+	count := func(r ChaosRun, kind string) int {
+		n := 0
+		for _, a := range r.Actions {
+			if a.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	if count(faulted, "replicate") <= count(control, "replicate") {
+		t.Errorf("thrashing run replicated %d times vs control %d — the antagonist did not engage the placer",
+			count(faulted, "replicate"), count(control, "replicate"))
+	}
+	if len(faulted.Actions) > 120 {
+		t.Errorf("placer took %d actions under thrashing — churn unbounded", len(faulted.Actions))
+	}
+}
+
+// checkChaosWriteStorm asserts the write-storm invariants at one scale.
+func checkChaosWriteStorm(t *testing.T, s Scale) {
+	t.Helper()
+	control := RunChaosWriteStorm(s, false)
+	faulted := RunChaosWriteStorm(s, true)
+	assertProgress(t, control)
+	assertProgress(t, faulted)
+
+	if control.Merges != 0 {
+		t.Errorf("control run merged %d times — the storm is the only write source", control.Merges)
+	}
+	if faulted.Merges < 1 {
+		t.Error("write storm never triggered a background merge — the race under test did not happen")
+	}
+	if faulted.Cohorts.Merged == 0 {
+		t.Error("no statements shared a pass during the storm run — cohorts disengaged")
+	}
+	if r := faulted.FaultTP() / control.FaultTP(); r < 0.3 {
+		t.Errorf("storm-window throughput ratio %.2f < 0.3 — degradation not graceful", r)
+	} else if r > 0.9 {
+		t.Errorf("storm-window throughput ratio %.2f > 0.9 — the storm did not bite", r)
+	}
+	if r := faulted.RecoveryTP() / control.RecoveryTP(); r < 0.7 {
+		t.Errorf("post-storm recovery ratio %.2f < 0.7", r)
+	}
+	// Statements in flight when the merge rebuild kicks in absorb its whole
+	// pause, so the storm's tail inflation is the largest of the suite
+	// (measured ~1.8x at 25 us, ~5x at 5 us).
+	if faulted.Latency.P99 > 8*control.Latency.P99 {
+		t.Errorf("faulted p99 %.2fms > 8x control %.2fms", faulted.Latency.P99*1e3, control.Latency.P99*1e3)
+	}
+}
+
+// checkChaosBurst asserts the join-window-burst invariants at one scale.
+func checkChaosBurst(t *testing.T, s Scale) {
+	t.Helper()
+	control := RunChaosBurst(s, false)
+	faulted := RunChaosBurst(s, true)
+	assertProgress(t, control)
+	assertProgress(t, faulted)
+
+	cb, fb := control.Tenants[1], faulted.Tenants[1] // the burst tenant
+	if fb.Issued < 2*cb.Issued {
+		t.Fatalf("burst tenant issued %d vs %d without bursts — the spikes never fired", fb.Issued, cb.Issued)
+	}
+	if st := faulted.Cohorts; st.Merged+st.Attached == 0 {
+		t.Error("no statements merged or attached under bursts — sharing disengaged")
+	}
+	if fs := faulted.Tenants[0]; fs.Completed < 9*fs.Issued/10 {
+		t.Errorf("steady tenant completed %d of %d issued under bursts", fs.Completed, fs.Issued)
+	}
+	if fb.Completed < 7*fb.Issued/10 {
+		t.Errorf("burst tenant completed %d of %d issued — spikes were shed, not absorbed", fb.Completed, fb.Issued)
+	}
+	if r := faulted.FaultTP() / control.FaultTP(); r < 0.8 {
+		t.Errorf("burst-window throughput ratio %.2f < 0.8 — spikes should be absorbed by sharing", r)
+	}
+	if faulted.Latency.P99 > 3*control.Latency.P99 {
+		t.Errorf("faulted p99 %.2fms > 3x control %.2fms", faulted.Latency.P99*1e3, control.Latency.P99*1e3)
+	}
+}
+
+// Quick-scale (25 us step) assertions.
+
+func TestChaosSocketQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	checkChaosSocket(t, QuickScale())
+}
+
+func TestChaosThermalQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	checkChaosThermal(t, QuickScale())
+}
+
+func TestChaosAntagonistQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	checkChaosAntagonist(t, QuickScale())
+}
+
+func TestChaosWriteStormQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	checkChaosWriteStorm(t, QuickScale())
+}
+
+func TestChaosBurstQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	checkChaosBurst(t, QuickScale())
+}
+
+// Full-scale (5 us step) assertions: the graceful-degradation envelope must
+// hold when dispatch quantization is 5x finer, or the invariants would be a
+// step-size artifact.
+
+func TestChaosSocketFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs at full scale")
+	}
+	checkChaosSocket(t, FullScale())
+}
+
+func TestChaosThermalFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs at full scale")
+	}
+	checkChaosThermal(t, FullScale())
+}
+
+func TestChaosAntagonistFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs at full scale")
+	}
+	checkChaosAntagonist(t, FullScale())
+}
+
+func TestChaosWriteStormFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs at full scale")
+	}
+	checkChaosWriteStorm(t, FullScale())
+}
+
+func TestChaosBurstFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs at full scale")
+	}
+	checkChaosBurst(t, FullScale())
+}

@@ -142,6 +142,21 @@ func init() {
 	register(Experiment{ID: "shared-scan", Title: "Shared scan cohorts: one memory pass for N concurrent scans",
 		Description: "A same-column hot-scan mix on the 4-socket machine with the cohort layer on vs off: concurrent scans of one column merge into cohorts (bounded join window, ClockScan-style mid-flight attach) that stream the column once and evaluate all member predicates per chunk, cutting physical MC bytes per statement while every statement keeps its logical traffic and truthful latency.",
 		Run:         runSharedScan})
+	register(Experiment{ID: "chaos-socket", Title: "Chaos: socket failure and return under the adaptive placer",
+		Description: "Fault injection: socket 1 goes offline mid-run (queued tasks drained and re-placed, workers parked, replicas invalidated) and returns three windows later; graceful-degradation invariants bound the throughput dip, require recovery, and demand forward progress in every window.",
+		Run:         runChaosSocket})
+	register(Experiment{ID: "chaos-thermal", Title: "Chaos: memory-controller thermal throttling",
+		Description: "Fault injection: the serving socket's MC throttles to 30% of nominal for three windows under an MC-bound scan mix; throughput must track the capacity loss without collapsing and return to baseline when the throttle lifts.",
+		Run:         runChaosThermal})
+	register(Experiment{ID: "chaos-antagonist", Title: "Chaos: antagonist tenant thrashing column heat",
+		Description: "Adversarial traffic: an antagonist tenant rotates its hot column every window to defeat the adaptive placer's replication; weighted-fair admission must preserve the victim tenant's goodput and the placer's churn must stay bounded.",
+		Run:         runChaosAntagonist})
+	register(Experiment{ID: "chaos-writestorm", Title: "Chaos: write storm racing background merges under shared scans",
+		Description: "Adversarial traffic: a socket-0 write storm floods the shared-scanned column's delta mid-run, forcing a background merge to race live cohort passes; the race must resolve without stalling and throughput must recover after the storm.",
+		Run:         runChaosWriteStorm})
+	register(Experiment{ID: "chaos-burst", Title: "Chaos: arrival bursts at the shared-scan join-window boundary",
+		Description: "Adversarial traffic: an open-loop tenant fires arrival spikes exactly one join window long at the shared column; the spikes must collapse into cohorts and the steady tenant's completion rate and p99 must survive.",
+		Run:         runChaosBurst})
 	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
 		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
 		Run:         runStarJoin})

@@ -46,7 +46,9 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"table2", "psmsize", "repart", "adaptive", "adaptive-repl", "delta-merge",
-		"admission", "shared-scan", "starjoin"}
+		"admission", "shared-scan", "starjoin",
+		"chaos-socket", "chaos-thermal", "chaos-antagonist", "chaos-writestorm",
+		"chaos-burst"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)

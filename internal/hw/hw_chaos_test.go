@@ -1,0 +1,59 @@
+package hw
+
+import (
+	"testing"
+
+	"numacs/internal/sim"
+	"numacs/internal/topology"
+)
+
+// Thermal throttling scales one socket's MC capacity and leaves the others
+// at nominal; factor 1 restores it.
+func TestSetMCScale(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	e := sim.New(1e-4)
+	h := New(e, m)
+	h.SetMCScale(1, 0.3)
+	if got := e.ResourceCapacity(h.MC[1]); got != 0.3*m.MCBandwidth {
+		t.Fatalf("throttled MC capacity = %v, want %v", got, 0.3*m.MCBandwidth)
+	}
+	for _, s := range []int{0, 2, 3} {
+		if got := e.ResourceCapacity(h.MC[s]); got != m.MCBandwidth {
+			t.Fatalf("socket %d MC capacity = %v, want nominal", s, got)
+		}
+	}
+	h.SetMCScale(1, 1)
+	if got := e.ResourceCapacity(h.MC[1]); got != m.MCBandwidth {
+		t.Fatalf("restored MC capacity = %v, want nominal", got)
+	}
+}
+
+// Link degradation scales every directed link touching the socket — both
+// outgoing and incoming — and nothing else.
+func TestSetSocketLinkScale(t *testing.T) {
+	m := topology.FourSocketIvyBridge()
+	e := sim.New(1e-4)
+	h := New(e, m)
+	h.SetSocketLinkScale(2, 0.25)
+	touched := 0
+	for i, l := range m.Links {
+		got := e.ResourceCapacity(h.Link[i])
+		if l.From == 2 || l.To == 2 {
+			touched++
+			if got != 0.25*l.Bandwidth {
+				t.Fatalf("link %d->%d capacity = %v, want quarter", l.From, l.To, got)
+			}
+		} else if got != l.Bandwidth {
+			t.Fatalf("link %d->%d capacity = %v, want nominal", l.From, l.To, got)
+		}
+	}
+	if touched == 0 {
+		t.Fatal("no links touch socket 2?")
+	}
+	h.SetSocketLinkScale(2, 1)
+	for i, l := range m.Links {
+		if got := e.ResourceCapacity(h.Link[i]); got != l.Bandwidth {
+			t.Fatalf("link %d->%d capacity = %v after restore", l.From, l.To, got)
+		}
+	}
+}

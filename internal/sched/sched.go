@@ -134,6 +134,12 @@ type Scheduler struct {
 	nextSeq      uint64
 	lastWatchdog float64
 
+	// offline marks sockets taken down by fault injection (nil until the
+	// first SetSocketOnline call, so the disabled path costs one nil check).
+	// Submissions targeting an offline socket are redirected to the nearest
+	// online one, and the socket's workers park until it returns.
+	offline []bool
+
 	// Watchdog statistics (Section 5.1): saturation observations.
 	WatchdogRuns        uint64
 	UnsaturatedObserved uint64
@@ -206,6 +212,12 @@ func (s *Scheduler) Submit(t *Task) {
 	if socket < 0 {
 		socket = t.CallerSocket
 	}
+	if s.offline != nil && s.offline[socket] {
+		// Fault injection took the target socket down: re-place the task on
+		// the nearest online socket. Hard tasks stay hard — they bind to the
+		// fallback socket instead (their data is still reachable remotely).
+		socket = s.nearestOnline(socket)
+	}
 	tgs := s.bySocket[socket]
 	tg := tgs[0]
 	for _, cand := range tgs[1:] {
@@ -219,6 +231,77 @@ func (s *Scheduler) Submit(t *Task) {
 	} else {
 		heap.Push(&tg.queue, t)
 	}
+}
+
+// SocketOnline reports whether a socket's worker pool is available (true
+// until fault injection takes it offline with SetSocketOnline).
+func (s *Scheduler) SocketOnline(socket int) bool {
+	return s.offline == nil || !s.offline[socket]
+}
+
+// nearestOnline returns the first online socket at increasing offset from the
+// given one (deterministic re-placement order). It panics when every socket
+// is offline — the machine cannot run any task then.
+func (s *Scheduler) nearestOnline(socket int) int {
+	n := len(s.bySocket)
+	for off := 0; off < n; off++ {
+		if cand := (socket + off) % n; !s.offline[cand] {
+			return cand
+		}
+	}
+	panic("sched: all sockets offline")
+}
+
+// SetSocketOnline transitions a socket between online and offline — the
+// chaos layer's socket-failure events. Taking a socket offline drains both
+// queues of its thread groups and re-places every queued task through Submit
+// (which redirects to the nearest online socket), then parks the socket's
+// free workers; workers mid-task finish their task and park on completion.
+// Bringing it back online un-parks them. Returns the number of queued tasks
+// re-placed (0 for an online transition or when already in the target state).
+func (s *Scheduler) SetSocketOnline(socket int, online bool) int {
+	if s.offline == nil {
+		if online {
+			return 0
+		}
+		s.offline = make([]bool, len(s.bySocket))
+	}
+	if s.offline[socket] == !online {
+		return 0
+	}
+	s.offline[socket] = !online
+	if online {
+		for _, tg := range s.bySocket[socket] {
+			for _, w := range tg.Workers {
+				if w.State == Parked {
+					w.State = Free
+				}
+			}
+		}
+		return 0
+	}
+	// Drain and re-place the dead socket's queues. heap.Pop yields priority
+	// order, and Submit assigns fresh seq numbers, so the re-placed tasks
+	// keep their relative order on the fallback socket's queues.
+	var drained []*Task
+	for _, tg := range s.bySocket[socket] {
+		for tg.queue.Len() > 0 {
+			drained = append(drained, heap.Pop(&tg.queue).(*Task))
+		}
+		for tg.hardQueue.Len() > 0 {
+			drained = append(drained, heap.Pop(&tg.hardQueue).(*Task))
+		}
+		for _, w := range tg.Workers {
+			if w.State == Free {
+				w.State = Parked
+			}
+		}
+	}
+	for _, t := range drained {
+		t.enqueued = false
+		s.Submit(t)
+	}
+	return len(drained)
 }
 
 // QueuedTasks returns the machine-wide queue depth.
@@ -428,6 +511,11 @@ func (s *Scheduler) finish(w *Worker) {
 	s.Counters.AddCompute(w.Socket(), 0, dur*s.HW.Machine.FreqHz)
 	w.task = nil
 	w.State = Free
+	if s.offline != nil && s.offline[w.Socket()] {
+		// The socket went offline while this task ran: the worker parks
+		// instead of rejoining the free pool.
+		w.State = Parked
+	}
 }
 
 // watchdog mirrors the paper's watchdog thread: it scans thread groups,

@@ -124,6 +124,17 @@ func (e *Engine) AddResource(name string, capacity float64) ResourceID {
 // ResourceName returns the registered name of a resource.
 func (e *Engine) ResourceName(id ResourceID) string { return e.names[id] }
 
+// SetResourceCapacity changes a resource's capacity in units/s, taking effect
+// at the next allocation (the allocator re-reads capacities every step, so a
+// capacity write costs nothing when unused). This is the fault-injection hook
+// the chaos layer's bandwidth throttles scale live capacities through.
+func (e *Engine) SetResourceCapacity(id ResourceID, capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q must have positive capacity", e.names[id]))
+	}
+	e.caps[id] = capacity
+}
+
 // ResourceCapacity returns the capacity of a resource in units/s.
 func (e *Engine) ResourceCapacity(id ResourceID) float64 { return e.caps[id] }
 
