@@ -131,6 +131,13 @@ func run(prevPath, currPath string, threshold float64, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "benchdiff: cannot load current run: %v\n", err)
 		return 2
 	}
+	if len(prev) == 0 {
+		// The artifact loaded but yielded no benchmarks: an empty or
+		// unparseable kernel_bench field. Distinct from the no-common-set
+		// case so a silently broken bench step is visible in the job log.
+		fmt.Fprintf(stdout, "::warning::benchdiff: previous artifact %s contains no %s benchmarks (empty or unparseable kernel_bench); perf gate soft-passes\n", prevPath, metricUnit)
+		return 0
+	}
 	common := compare(prev, curr)
 	if len(common) == 0 {
 		fmt.Fprintf(stdout, "::warning::benchdiff: no benchmarks common to both runs (prev has %d, curr has %d); perf gate soft-passes\n", len(prev), len(curr))

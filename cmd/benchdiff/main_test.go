@@ -115,6 +115,28 @@ func TestGateSoftPasses(t *testing.T) {
 	}
 }
 
+// TestGateWarnsOnEmptyArtifact: a previous artifact that loads but yields no
+// benchmarks (empty or mangled kernel_bench field) must emit the dedicated
+// empty-artifact warning — not the generic disjoint-sets one — and exit 0.
+func TestGateWarnsOnEmptyArtifact(t *testing.T) {
+	curr := writeFile(t, "curr.txt",
+		"BenchmarkScanPositions/bits=4-4 100 1000 ns/op 0.500 ns/row\n")
+	for name, content := range map[string]string{
+		"empty.json":   `{"run": 7, "commit": "abc", "kernel_bench": ""}`,
+		"mangled.json": `{"run": 7, "commit": "abc", "kernel_bench": "jq error: null"}`,
+	} {
+		prev := writeFile(t, name, content)
+		var sb strings.Builder
+		if code := run(prev, curr, 0.10, &sb); code != 0 {
+			t.Fatalf("%s: exit %d, want 0\n%s", name, code, sb.String())
+		}
+		if !strings.Contains(sb.String(), "::warning::") ||
+			!strings.Contains(sb.String(), "no ns/row benchmarks") {
+			t.Fatalf("%s must trigger the empty-artifact warning:\n%s", name, sb.String())
+		}
+	}
+}
+
 // TestGateRenamedSuffix: prev stored with a different GOMAXPROCS suffix still
 // matches — the suffix is stripped on both sides.
 func TestGateRenamedSuffix(t *testing.T) {

@@ -8,13 +8,17 @@
 //	scanbench -all
 //	scanbench -exp fig12 -scale quick
 //	scanbench -exp shared-scan -scale quick -json
+//	scanbench -exp chaos-socket -scale quick -trace traces/
 //
 // -list prints one registered experiment id per line, so scripts (and the
 // CI experiment loop) can enumerate every experiment without a hand-kept
 // list; -json emits each report as a JSON document instead of rendered
 // tables — the format the CI bench job archives into the BENCH_<run>.json
-// perf-trajectory artifact. Each experiment prints the same rows/series the
-// paper reports; see EXPERIMENTS.md for the paper-vs-measured record.
+// perf-trajectory artifact. -trace <dir> writes each experiment's
+// flight-recorder data (when the experiment records one) as <dir>/<id>.jsonl
+// plus a Perfetto/chrome://tracing-loadable <dir>/<id>.trace.json. Each
+// experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -22,19 +26,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"numacs/internal/harness"
+	"numacs/internal/trace"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "print registered experiment ids, one per line, and exit")
-		exp     = flag.String("exp", "", "experiment id to run (comma-separated for several)")
-		all     = flag.Bool("all", false, "run every experiment")
-		scale   = flag.String("scale", "full", "experiment scale: full or quick")
-		jsonOut = flag.Bool("json", false, "emit each report as JSON instead of rendered tables")
+		list     = flag.Bool("list", false, "print registered experiment ids, one per line, and exit")
+		exp      = flag.String("exp", "", "experiment id to run (comma-separated for several)")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.String("scale", "full", "experiment scale: full or quick")
+		jsonOut  = flag.Bool("json", false, "emit each report as JSON instead of rendered tables")
+		traceDir = flag.String("trace", "", "directory to write flight-recorder exports into (<id>.jsonl and <id>.trace.json)")
 	)
 	flag.Parse()
 
@@ -77,6 +84,12 @@ func main() {
 		}
 		start := time.Now()
 		rep := e.Run(sc)
+		if *traceDir != "" {
+			if err := writeTrace(*traceDir, e.ID, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "writing trace for %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
 		if *jsonOut {
 			// Keep stdout pure JSON; the timing note goes to stderr.
 			if err := enc.Encode(rep); err != nil {
@@ -89,4 +102,37 @@ func main() {
 		fmt.Println(rep.Render())
 		fmt.Printf("[%s: %s scale, wall %.1fs]\n\n", e.ID, sc.Name, time.Since(start).Seconds())
 	}
+}
+
+// writeTrace exports an experiment's flight-recorder data into dir as a JSONL
+// dump and a Chrome trace-event file. Experiments that record no trace are
+// skipped with a note — only the chaos suite attaches one today.
+func writeTrace(dir, id string, rep *harness.Report) error {
+	if rep.Trace == nil {
+		fmt.Fprintf(os.Stderr, "[%s: no flight-recorder data, skipping -trace export]\n", id)
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, id+".jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := rep.Trace.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, id+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := trace.ExportChrome(cf, rep.Trace); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
 }

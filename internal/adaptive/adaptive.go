@@ -26,10 +26,13 @@
 package adaptive
 
 import (
+	"fmt"
+
 	"numacs/internal/colstore"
 	"numacs/internal/core"
 	"numacs/internal/memsim"
 	"numacs/internal/placement"
+	"numacs/internal/trace"
 )
 
 // Catalog lists the tables whose columns the placer manages, mirroring the
@@ -229,6 +232,22 @@ func New(e *core.Engine, cat *Catalog, cfg Config) *Placer {
 // replicas, the quantity capped by Config.ReplicaBudgetBytes.
 func (p *Placer) ReplicaBytes() int64 { return p.replicaBytes }
 
+// record appends one action to the placer's decision log and, when the
+// engine's flight recorder is enabled, mirrors it into the trace decision
+// ring with the heat numbers that triggered it.
+func (p *Placer) record(a Action, cause string) {
+	p.Actions = append(p.Actions, a)
+	if p.Engine.Trace != nil {
+		p.Engine.Trace.Decisions.Record(trace.Decision{
+			Time: a.Time, Source: "placer", Kind: a.Kind, Item: a.Column,
+			From: a.From, To: a.To, Cause: cause,
+		})
+	}
+}
+
+// mib formats bytes as MiB for decision causes.
+func mib(b float64) string { return fmt.Sprintf("%.1fMiB", b/(1<<20)) }
+
 // Tick implements sim.Actor: one balancing round per Config.Period.
 func (p *Placer) Tick(now float64) {
 	if now-p.lastRun < p.Cfg.Period {
@@ -302,7 +321,9 @@ func (p *Placer) reclaimWriteHot(now float64, traffic map[string]*core.ItemTraff
 			s := col.ReplicaSockets[len(col.ReplicaSockets)-1]
 			freed := p.Engine.Placer.DropReplica(col, s)
 			p.replicaBytes -= freed
-			p.Actions = append(p.Actions, Action{Time: now, Kind: "drop-replica", Column: col.Name, From: s, Bytes: freed})
+			p.record(Action{Time: now, Kind: "drop-replica", Column: col.Name, From: s, Bytes: freed},
+				fmt.Sprintf("write-guard: %s written last period >= %.0f%% of the replica footprint",
+					mib(it.WriteBytes), p.Cfg.WriteHotFraction*100))
 		}
 	}
 }
@@ -323,23 +344,28 @@ func (p *Placer) triggerMerges(now float64, traffic map[string]*core.ItemTraffic
 			continue
 		}
 		deltaBytes := d.SizeBytes()
-		fire := float64(deltaBytes) >= p.Cfg.MergeDeltaFraction*float64(col.IVBytes())
-		if it := traffic[col.Name]; !fire && it != nil && it.DeltaBytes > 0 {
+		reason := ""
+		if float64(deltaBytes) >= p.Cfg.MergeDeltaFraction*float64(col.IVBytes()) {
+			reason = fmt.Sprintf("delta grew to %s >= %.0f%% of the %s main",
+				mib(float64(deltaBytes)), p.Cfg.MergeDeltaFraction*100, mib(float64(col.IVBytes())))
+		} else if it := traffic[col.Name]; it != nil && it.DeltaBytes > 0 {
 			if scanBytes := it.IVBytes + it.DeltaBytes; it.DeltaBytes >= p.Cfg.MergeTrafficFraction*scanBytes {
-				fire = true // the delta is slowing scans down
-			}
-			if it.WriteBytes == 0 {
-				fire = true // write-cold cleanup
+				// The delta is slowing scans down.
+				reason = fmt.Sprintf("delta served %s of %s scanned last period (>= %.0f%%)",
+					mib(it.DeltaBytes), mib(scanBytes), p.Cfg.MergeTrafficFraction*100)
+			} else if it.WriteBytes == 0 {
+				// Write-cold cleanup: folding is pure win.
+				reason = "write-cold delta still being scanned"
 			}
 		}
-		if !fire {
+		if reason == "" {
 			continue
 		}
 		started, target, _ := p.Engine.StartMerge(col, nil)
 		if !started {
 			continue
 		}
-		p.Actions = append(p.Actions, Action{Time: now, Kind: "merge", Column: col.Name, From: -1, To: target, Bytes: deltaBytes})
+		p.record(Action{Time: now, Kind: "merge", Column: col.Name, From: -1, To: target, Bytes: deltaBytes}, reason)
 	}
 }
 
@@ -376,7 +402,9 @@ func (p *Placer) rebalance(now float64, hot, cold int, hotBytes float64, traffic
 		}
 		p.PagesMoved += moved
 		p.lastChurn[hottest.Name] = now
-		p.Actions = append(p.Actions, Action{Time: now, Kind: "move", Column: hottest.Name, From: hot, To: cold})
+		p.record(Action{Time: now, Kind: "move", Column: hottest.Name, From: hot, To: cold},
+			fmt.Sprintf("item served %s of hot socket %d's %s (< %.0f%% dominance): move to coldest socket %d",
+				mib(best), hot, mib(hotBytes), p.Cfg.DominanceFraction*100, cold))
 		return
 	}
 	// The item dominates: increase its partition count, placing the new
@@ -395,7 +423,9 @@ func (p *Placer) rebalance(now float64, hot, cold int, hotBytes float64, traffic
 	moved := p.Engine.Placer.RepartitionIVP(hottest, sockets)
 	p.PagesMoved += moved
 	p.lastChurn[hottest.Name] = now
-	p.Actions = append(p.Actions, Action{Time: now, Kind: "partition-ivp", Column: hottest.Name, From: hot, To: cold, Parts: nparts + 1})
+	p.record(Action{Time: now, Kind: "partition-ivp", Column: hottest.Name, From: hot, To: cold, Parts: nparts + 1},
+		fmt.Sprintf("item dominates hot socket %d (%s of %s served): split %d->%d partitions, new one on socket %d",
+			hot, mib(best), mib(hotBytes), nparts, nparts+1, cold))
 }
 
 // hottestOn finds the item with the most attributed traffic that has a copy
@@ -473,7 +503,10 @@ func (p *Placer) tryReplicate(now float64, col *colstore.Column, it *core.ItemTr
 		p.PeakReplicaBytes = p.replicaBytes
 	}
 	p.PagesCopied += (added + memsim.PageSize - 1) / memsim.PageSize
-	p.Actions = append(p.Actions, Action{Time: now, Kind: "replicate", Column: col.Name, From: hot, To: cold, Bytes: added})
+	p.record(Action{Time: now, Kind: "replicate", Column: col.Name, From: hot, To: cold, Bytes: added},
+		fmt.Sprintf("read-hot item served %s of hot socket %d's %s (>= %.0f%% dominance, %.0f%% reads): replicate to cold socket %d",
+			mib(it.Bytes), hot, mib(hotBytes), p.Cfg.DominanceFraction*100,
+			(it.IVBytes+it.DictBytes)/it.Bytes*100, cold))
 	return true
 }
 
@@ -491,7 +524,9 @@ func (p *Placer) shrinkCold(now float64, traffic map[string]*core.ItemTraffic, a
 			if stale := p.staleReplica(col, it, avgSocketBytes); stale >= 0 {
 				freed := p.Engine.Placer.DropReplica(col, stale)
 				p.replicaBytes -= freed
-				p.Actions = append(p.Actions, Action{Time: now, Kind: "drop-replica", Column: col.Name, From: stale, Bytes: freed})
+				p.record(Action{Time: now, Kind: "drop-replica", Column: col.Name, From: stale, Bytes: freed},
+					fmt.Sprintf("stale replica on socket %d: item traffic decayed below %.0f%% of the mean socket's %s",
+						stale, p.Cfg.StaleReplicaFraction*100, mib(avgSocketBytes)))
 				return
 			}
 			continue
@@ -506,7 +541,8 @@ func (p *Placer) shrinkCold(now float64, traffic map[string]*core.ItemTraffic, a
 		moved := p.Engine.Placer.RepartitionIVP(col, sockets[:len(sockets)-1])
 		p.PagesMoved += moved
 		p.lastChurn[col.Name] = now
-		p.Actions = append(p.Actions, Action{Time: now, Kind: "shrink", Column: col.Name, Parts: col.NumPartitions()})
+		p.record(Action{Time: now, Kind: "shrink", Column: col.Name, Parts: col.NumPartitions()},
+			fmt.Sprintf("balanced round, no traffic on the item: shrink to %d partitions", col.NumPartitions()))
 		return // at most one action per round
 	}
 }

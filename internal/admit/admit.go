@@ -29,11 +29,13 @@
 package admit
 
 import (
+	"fmt"
 	"math"
 
 	"numacs/internal/metrics"
 	"numacs/internal/sched"
 	"numacs/internal/sim"
+	"numacs/internal/trace"
 )
 
 // Class buckets statements by their latency contract; each class has its own
@@ -78,6 +80,10 @@ type Statement struct {
 	// OnShed fires instead of Run when load shedding drops the statement
 	// (queue wait exceeded the class deadline). Nil is allowed.
 	OnShed func()
+	// Trace, when non-nil, is the statement's flight-recorder span: the
+	// controller stamps the admission instant onto it at dispatch and the
+	// shed instant when load shedding drops it.
+	Trace *trace.Statement
 
 	enqueued float64
 }
@@ -205,6 +211,11 @@ type Controller struct {
 	// Trace records one ControlSample per control-loop run, for reports.
 	Trace []ControlSample
 
+	// Decisions, when non-nil, is the flight recorder's decision log: the
+	// controller records AIMD limit/granularity changes and deadline sheds
+	// with the saturation numbers that caused them.
+	Decisions *trace.DecisionLog
+
 	// TotalShed counts shed statements across tenants.
 	TotalShed uint64
 }
@@ -311,6 +322,7 @@ func (c *Controller) Tick(now float64) {
 func (c *Controller) control(now float64) {
 	sat := c.sched.Saturation()
 	qpw := float64(sat.Queued) / float64(c.workers)
+	prevLimit, prevGran := c.limit, c.granLevel
 	switch {
 	case qpw > c.cfg.HighQueuePerWorker:
 		// Saturated: throttle multiplicatively and coarsen the fan-out so
@@ -342,6 +354,17 @@ func (c *Controller) control(now float64) {
 		InFlight: c.inflight, QueuedStatements: c.Queued(),
 		QueuedTasks: sat.Queued, FreeWorkers: sat.Free,
 	})
+	if c.Decisions != nil && (c.limit != prevLimit || c.granLevel != prevGran) {
+		kind := "aimd-grow"
+		if c.limit < prevLimit || c.granLevel > prevGran {
+			kind = "aimd-throttle"
+		}
+		c.Decisions.Record(trace.Decision{
+			Time: now, Source: "admission", Kind: kind, From: -1, To: -1,
+			Cause: fmt.Sprintf("queue/worker %.2f (high %.2f, low %.2f), %d free: limit %d->%d, gran cap %d",
+				qpw, c.cfg.HighQueuePerWorker, c.cfg.LowQueuePerWorker, sat.Free, prevLimit, c.limit, c.GranCap()),
+		})
+	}
 }
 
 // DeadlineFor returns the class's shedding deadline in virtual seconds (0 =
@@ -398,6 +421,17 @@ func (c *Controller) shedExpired(now float64) {
 func (c *Controller) shed(t *tenant, st *Statement) {
 	t.stats.Shed++
 	c.TotalShed++
+	now := c.sim.Now()
+	if st.Trace != nil {
+		st.Trace.MarkShed(now, "admission")
+	}
+	if c.Decisions != nil {
+		c.Decisions.Record(trace.Decision{
+			Time: now, Source: "admission", Kind: "shed", Item: t.stats.Name, From: -1, To: -1,
+			Cause: fmt.Sprintf("%s statement waited %.1fms > %.1fms deadline",
+				st.Class, (now-st.enqueued)*1e3, c.deadline(st.Class)*1e3),
+		})
+	}
 	if st.OnShed != nil {
 		st.OnShed()
 	}
@@ -449,6 +483,9 @@ func (c *Controller) dispatch() {
 		t.stats.Admitted++
 		t.stats.Wait.Record(now - st.enqueued)
 		c.inflight++
+		if st.Trace != nil {
+			st.Trace.MarkAdmitted(now)
+		}
 		st.Run(c.GranCap(), st.enqueued, func() { c.statementDone(t, st) })
 	}
 }

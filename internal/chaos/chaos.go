@@ -26,6 +26,7 @@ import (
 	"numacs/internal/hw"
 	"numacs/internal/placement"
 	"numacs/internal/sched"
+	"numacs/internal/trace"
 )
 
 // Kind is the fault class of one scheduled event.
@@ -116,6 +117,11 @@ type Injector struct {
 
 	// Applied is the log of injected faults, oldest first.
 	Applied []Applied
+
+	// Decisions, when non-nil, is the flight recorder's decision log: every
+	// injected fault is recorded with its blast radius (tasks re-placed,
+	// replicas dropped, throttle factor).
+	Decisions *trace.DecisionLog
 }
 
 // New validates a schedule and builds an injector over the given substrates.
@@ -149,13 +155,13 @@ func (in *Injector) Pending() int { return len(in.schedule) - in.next }
 // Tick implements sim.Actor: fire every due event.
 func (in *Injector) Tick(now float64) {
 	for in.next < len(in.schedule) && in.schedule[in.next].At <= now {
-		in.apply(in.schedule[in.next])
+		in.apply(in.schedule[in.next], now)
 		in.next++
 	}
 }
 
 // apply injects one fault and logs it.
-func (in *Injector) apply(ev Event) {
+func (in *Injector) apply(ev Event, now float64) {
 	a := Applied{Event: ev}
 	switch ev.Kind {
 	case SocketOffline:
@@ -173,4 +179,20 @@ func (in *Injector) apply(ev Event) {
 		in.HW.SetSocketLinkScale(ev.Socket, ev.Factor)
 	}
 	in.Applied = append(in.Applied, a)
+	if in.Decisions != nil {
+		cause := fmt.Sprintf("scheduled at %.1fms", ev.At*1e3)
+		switch ev.Kind {
+		case SocketOffline:
+			cause = fmt.Sprintf("scheduled at %.1fms: %d queued tasks re-placed, %d replicas dropped",
+				ev.At*1e3, a.TasksReplaced, a.ReplicasDropped)
+		case MCThrottle, LinkThrottle:
+			cause = fmt.Sprintf("scheduled at %.1fms: capacity scaled to %.0f%% of nominal",
+				ev.At*1e3, ev.Factor*100)
+		}
+		in.Decisions.Record(trace.Decision{
+			Time: now, Source: "chaos", Kind: ev.Kind.String(),
+			Item: fmt.Sprintf("socket %d", ev.Socket), From: ev.Socket, To: ev.Socket,
+			Cause: cause,
+		})
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"numacs/internal/sharedscan"
 	"numacs/internal/sim"
 	"numacs/internal/topology"
+	"numacs/internal/trace"
 
 	"numacs/internal/colstore"
 )
@@ -130,6 +131,14 @@ type Engine struct {
 	// pre-chaos engine (the hooks are capacity writes and a nil check).
 	Chaos *chaos.Injector
 
+	// Trace is the optional flight recorder (EnableTracing wires one). When
+	// set, every statement gets a span record threaded through the admission,
+	// cohort, and pipeline layers, control-plane decisions land in its
+	// decision ring, and (when configured) a sampler actor records windowed
+	// counter time-series. Nil leaves every path bit-identical to the
+	// untraced engine: tracing is passive, and each hook is one nil check.
+	Trace *trace.Tracer
+
 	env              *exec.Env
 	rng              *rand.Rand
 	activeStatements int
@@ -194,6 +203,9 @@ func (e *Engine) EnableAdmission(cfg admit.Config) *admit.Controller {
 	c := admit.New(cfg, e.Sched, e.Sim)
 	e.Sim.AddActor(c)
 	e.Admit = c
+	if e.Trace != nil {
+		c.Decisions = e.Trace.Decisions
+	}
 	return c
 }
 
@@ -208,6 +220,9 @@ func (e *Engine) EnableSharedScans(cfg sharedscan.Config) *sharedscan.Registry {
 	r := sharedscan.New(cfg, e.env, e.Sim)
 	e.Sim.AddActor(r)
 	e.Shared = r
+	if e.Trace != nil {
+		r.Decisions = e.Trace.Decisions
+	}
 	return r
 }
 
@@ -230,7 +245,44 @@ func (e *Engine) EnableChaos(cfg chaos.Config, tables ...*colstore.Table) *chaos
 	in := chaos.New(cfg, e.HW, e.Sched, e.Placer, cols)
 	e.Sim.AddActor(in)
 	e.Chaos = in
+	if e.Trace != nil {
+		in.Decisions = e.Trace.Decisions
+	}
 	return in
+}
+
+// EnableTracing wires the flight recorder: statement spans on every Submit /
+// SubmitWrite / SubmitPipeline path, control-plane decisions (placer moves,
+// AIMD steps, cohort lifecycle, chaos faults, delta merges) in a bounded ring,
+// and — when cfg.SampleInterval > 0 — a sampler actor recording windowed
+// counter deltas. It returns the tracer for export and assertions. Call it
+// once; it composes with the other Enable* calls in either order (layers
+// already enabled are attached retroactively, layers enabled later attach
+// themselves). Tracing is passive — it never starts flows or mutates engine
+// state — so a traced run is bit-identical to an untraced one (pinned by the
+// harness golden test).
+func (e *Engine) EnableTracing(cfg trace.Config) *trace.Tracer {
+	if e.Trace != nil {
+		panic("core: tracing already enabled")
+	}
+	t := trace.New(cfg, e.Machine.Sockets)
+	if cfg.SampleInterval > 0 {
+		s := trace.NewSampler(cfg.SampleInterval, e.Counters)
+		s.QueueDepths = e.Sched.SocketQueueDepths
+		e.Sim.AddActor(s)
+		t.Sampler = s
+	}
+	e.Trace = t
+	if e.Admit != nil {
+		e.Admit.Decisions = t.Decisions
+	}
+	if e.Shared != nil {
+		e.Shared.Decisions = t.Decisions
+	}
+	if e.Chaos != nil {
+		e.Chaos.Decisions = t.Decisions
+	}
+	return t
 }
 
 // ActiveStatements returns the number of in-flight queries.
@@ -319,25 +371,30 @@ type Query struct {
 // wait in its tenant's queue (the wait counts toward the reported latency
 // and ages its task priority), run with a coarsened fan-out, or be shed.
 func (e *Engine) Submit(q *Query) {
+	var st *trace.Statement
+	if e.Trace != nil {
+		st = e.Trace.StartStatement(q.Tenant, q.Class.String(), q.Table.Name+"."+q.Column, e.Sim.Now())
+	}
 	if e.Admit != nil {
 		e.Admit.Submit(&admit.Statement{
 			Tenant: q.Tenant,
 			Class:  q.Class,
+			Trace:  st,
 			OnShed: q.OnShed,
 			Run: func(gran int, issuedAt float64, done func()) {
-				e.submitQuery(q, gran, issuedAt, done)
+				e.submitQuery(q, st, gran, issuedAt, done)
 			},
 		})
 		return
 	}
-	e.submitQuery(q, 0, e.Sim.Now(), nil)
+	e.submitQuery(q, st, 0, e.Sim.Now(), nil)
 }
 
 // submitQuery builds and dispatches the query's operator pipeline with the
 // given fan-out cap and statement timestamp. release, when non-nil, frees
 // the statement's admission-concurrency slot; it runs before the query's own
 // completion (or shed) callback.
-func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, release func()) {
+func (e *Engine) submitQuery(q *Query, st *trace.Statement, gran int, issuedAt float64, release func()) {
 	onDone := func(lat float64) {
 		if release != nil {
 			release()
@@ -347,7 +404,7 @@ func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, release func(
 		}
 	}
 	if e.Shared != nil && e.shareableScan(q) {
-		e.submitShared(q, gran, issuedAt, onDone, release)
+		e.submitShared(q, st, gran, issuedAt, onDone, release)
 		return
 	}
 	scan := &exec.ScanOp{
@@ -358,7 +415,7 @@ func (e *Engine) submitQuery(q *Query, gran int, issuedAt float64, release func(
 		UseIndex:              q.UseIndex,
 		Parallel:              q.Parallel,
 	}
-	e.SubmitPipelineAt(q.Strategy, q.HomeSocket, gran, issuedAt, onDone, scan, e.secondOp(q, scan))
+	e.submitPipeline(q.Strategy, q.HomeSocket, gran, issuedAt, st, onDone, scan, e.secondOp(q, scan))
 }
 
 // SubmitPipeline executes composed operators as one SQL statement: the fixed
@@ -377,6 +434,17 @@ func (e *Engine) SubmitPipeline(strategy Strategy, homeSocket int, onDone func(l
 // admission-queue arrival — task priorities age with the wait, and the
 // recorded latency covers queue time, not just execution.
 func (e *Engine) SubmitPipelineAt(strategy Strategy, homeSocket, maxFanout int, issuedAt float64, onDone func(latency float64), ops ...exec.Operator) {
+	var st *trace.Statement
+	if e.Trace != nil {
+		st = e.Trace.StartStatement("", "", "pipeline", e.Sim.Now())
+	}
+	e.submitPipeline(strategy, homeSocket, maxFanout, issuedAt, st, onDone, ops...)
+}
+
+// submitPipeline is the shared pipeline-dispatch core: SubmitPipelineAt and
+// submitQuery both land here, the latter threading the statement's trace span
+// (created at Submit time, so the span covers the admission-queue wait).
+func (e *Engine) submitPipeline(strategy Strategy, homeSocket, maxFanout int, issuedAt float64, st *trace.Statement, onDone func(latency float64), ops ...exec.Operator) {
 	e.activeStatements++
 	p := &exec.Pipeline{
 		Env:        e.env,
@@ -385,6 +453,7 @@ func (e *Engine) SubmitPipelineAt(strategy Strategy, homeSocket, maxFanout int, 
 		IssuedAt:   issuedAt,
 		MaxFanout:  maxFanout,
 		Ops:        ops,
+		Trace:      st,
 		OnDone: func(lat float64) {
 			e.activeStatements--
 			if onDone != nil {

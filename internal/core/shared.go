@@ -12,6 +12,7 @@ import (
 	"numacs/internal/exec"
 	"numacs/internal/sharedscan"
 	"numacs/internal/sim"
+	"numacs/internal/trace"
 )
 
 // shareableScan reports whether a query can join a scan cohort: an
@@ -29,7 +30,7 @@ func (e *Engine) shareableScan(q *Query) bool {
 // the statement joins the registry's lifecycle for its column. The member's
 // shed deadline extends the admission class deadline into the join window;
 // a shed frees the admission slot and fires q.OnShed.
-func (e *Engine) submitShared(q *Query, gran int, issuedAt float64, onDone func(latency float64), release func()) {
+func (e *Engine) submitShared(q *Query, st *trace.Statement, gran int, issuedAt float64, onDone func(latency float64), release func()) {
 	deadline := 0.0
 	if e.Admit != nil {
 		if d := e.Admit.DeadlineFor(q.Class); d > 0 {
@@ -47,6 +48,7 @@ func (e *Engine) submitShared(q *Query, gran int, issuedAt float64, onDone func(
 		MaxFanout:   gran,
 		IssuedAt:    issuedAt,
 		Deadline:    deadline,
+		Trace:       st,
 		SecondOp:    func(src exec.RegionSource) exec.Operator { return e.secondOp(q, src) },
 		OnDone: func(lat float64) {
 			e.activeStatements--

@@ -11,12 +11,15 @@ package core
 // swaps in the rebuilt main via placement.MergeDelta.
 
 import (
+	"fmt"
+
 	"numacs/internal/admit"
 	"numacs/internal/colstore"
 	"numacs/internal/delta"
 	"numacs/internal/exec"
 	"numacs/internal/placement"
 	"numacs/internal/sim"
+	"numacs/internal/trace"
 )
 
 // SubmitWrite routes a write batch through the admission controller as a
@@ -27,16 +30,30 @@ import (
 // deferred, not applied-then-admitted), and the Interactive deadline can
 // shed it, in which case apply never runs.
 func (e *Engine) SubmitWrite(tenant string, onShed func(), apply func(done func())) {
+	var st *trace.Statement
+	if e.Trace != nil {
+		st = e.Trace.StartStatement(tenant, admit.Interactive.String(), "write", e.Sim.Now())
+	}
 	if e.Admit == nil {
-		apply(func() {})
+		apply(func() {
+			if st != nil {
+				st.MarkDone(e.Sim.Now())
+			}
+		})
 		return
 	}
 	e.Admit.Submit(&admit.Statement{
 		Tenant: tenant,
 		Class:  admit.Interactive,
+		Trace:  st,
 		OnShed: onShed,
 		Run: func(gran int, issuedAt float64, done func()) {
-			apply(done)
+			apply(func() {
+				if st != nil {
+					st.MarkDone(e.Sim.Now())
+				}
+				done()
+			})
 		},
 	})
 }
@@ -136,6 +153,14 @@ func (e *Engine) StartMerge(col *colstore.Column, onDone func(mergedRows int)) (
 		target = 0
 	}
 	bytes = 2*(col.IVBytes()+col.DictBytes()) + int64(snap.TotalRows())*delta.RowBytes
+	if e.Trace != nil {
+		e.Trace.Decisions.Record(trace.Decision{
+			Time: e.Sim.Now(), Source: "merge", Kind: "merge-start", Item: col.Name,
+			From: target, To: target,
+			Cause: fmt.Sprintf("%d delta rows folded into the main on socket %d (%.1fMiB rebuild)",
+				snap.TotalRows(), target, float64(bytes)/(1<<20)),
+		})
+	}
 	e.Sim.StartFlow(&sim.Flow{
 		Remaining: float64(bytes),
 		RateCap:   1 / placement.RebuildCostPerByte,

@@ -25,6 +25,7 @@ import (
 	"numacs/internal/sched"
 	"numacs/internal/sim"
 	"numacs/internal/topology"
+	"numacs/internal/trace"
 )
 
 // Strategy is a task scheduling strategy (Section 6's OS/Target/Bound).
@@ -207,6 +208,12 @@ type Pipeline struct {
 	// without admission control).
 	MaxFanout int
 
+	// Trace, when non-nil, is the statement's flight-recorder span: the
+	// pipeline stamps each operator phase (open, first task pickup, barrier)
+	// and the completion instant onto it. Nil when tracing is disabled —
+	// every use is nil-checked, keeping the hot path cost at one comparison.
+	Trace *trace.Statement
+
 	pending int
 }
 
@@ -232,8 +239,14 @@ func (p *Pipeline) runPhase(i int) {
 		p.finish()
 		return
 	}
+	if p.Trace != nil {
+		p.Trace.PhaseOpen(PhaseName(p.Ops[i]), p.Env.Sim.Now())
+	}
 	tasks := p.Ops[i].Open(p)
 	if len(tasks) == 0 {
+		if p.Trace != nil {
+			p.Trace.PhaseClose(p.Env.Sim.Now())
+		}
 		p.Ops[i].Close(p)
 		p.runPhase(i + 1)
 		return
@@ -242,12 +255,18 @@ func (p *Pipeline) runPhase(i int) {
 	for _, t := range tasks {
 		t := t
 		affinity, hard := AffinityFor(p.Strategy, t.Socket)
-		p.Env.Sched.Submit(&sched.Task{
+		st := &sched.Task{
 			Priority: p.IssuedAt, Affinity: affinity, Hard: hard, CallerSocket: p.HomeSocket,
 			Run: func(w *sched.Worker, done func()) {
 				t.Run(w, func() { done(); p.taskDone(i) })
 			},
-		})
+		}
+		if p.Trace != nil {
+			st.OnStart = func(w *sched.Worker, stolen bool) {
+				p.Trace.TaskStart(w.Socket(), stolen, p.Env.Sim.Now())
+			}
+		}
+		p.Env.Sched.Submit(st)
 	}
 }
 
@@ -255,6 +274,9 @@ func (p *Pipeline) runPhase(i int) {
 func (p *Pipeline) taskDone(i int) {
 	p.pending--
 	if p.pending == 0 {
+		if p.Trace != nil {
+			p.Trace.PhaseClose(p.Env.Sim.Now())
+		}
 		p.Ops[i].Close(p)
 		p.runPhase(i + 1)
 	}
@@ -262,9 +284,36 @@ func (p *Pipeline) taskDone(i int) {
 
 func (p *Pipeline) finish() {
 	lat := p.Env.Sim.Now() - p.IssuedAt
+	if p.Trace != nil {
+		p.Trace.MarkDone(p.Env.Sim.Now())
+	}
 	p.Env.Counters.AddLatency(lat)
 	if p.OnDone != nil {
 		p.OnDone(lat)
+	}
+}
+
+// PhaseName maps an operator to its flight-recorder phase label.
+func PhaseName(op Operator) string {
+	switch op.(type) {
+	case *ScanOp:
+		return "scan"
+	case *SharedScanOp:
+		return "shared-scan"
+	case *WrapScanOp:
+		return "wrap-scan"
+	case *MaterializeOp:
+		return "materialize"
+	case *AggregateOp:
+		return "aggregate"
+	case *joinBuild:
+		return "build"
+	case *joinProbe:
+		return "probe"
+	case *StaticRegions:
+		return "regions"
+	default:
+		return "op"
 	}
 }
 

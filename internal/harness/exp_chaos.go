@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"numacs/internal/adaptive"
 	"numacs/internal/chaos"
@@ -9,6 +10,7 @@ import (
 	"numacs/internal/core"
 	"numacs/internal/metrics"
 	"numacs/internal/sharedscan"
+	"numacs/internal/trace"
 	"numacs/internal/workload"
 )
 
@@ -65,6 +67,11 @@ type ChaosRun struct {
 	// ReplicaSockets is the hot column's final replica-socket list
 	// (chaos-socket only).
 	ReplicaSockets []int
+
+	// Trace is the run's flight-recorder data: statement spans, the decision
+	// log, and the windowed time-series the progress counters above are
+	// derived from.
+	Trace *trace.Data
 }
 
 // chaosHorizon returns the windowed timeline of a scale.
@@ -73,18 +80,34 @@ func chaosHorizon(s Scale) (window, horizon float64) {
 	return horizon / chaosWindows, horizon
 }
 
-// runChaosWindows advances the engine window by window, recording the
-// per-window progress counters, then the whole-run latency distribution.
+// chaosTrace enables the flight recorder with the reporting window as the
+// sampling interval, so the recorded time-series IS the per-window progress
+// timeline the chaos tables report. Every chaos scenario calls it before
+// starting its workload.
+func chaosTrace(e *core.Engine, window float64) {
+	e.EnableTracing(trace.Config{SampleInterval: window})
+}
+
+// runChaosWindows advances the engine over the whole windowed horizon and
+// derives the per-window progress counters from the flight recorder's
+// time-series (chaosTrace wired the sampler to the reporting window), then
+// records the whole-run latency distribution and the recorder's data. The
+// sampler observes the engine at exactly the instants the old per-window
+// loop read the counters, so the derived numbers are bit-identical to the
+// hand-rolled bookkeeping this replaced.
 func runChaosWindows(e *core.Engine, run *ChaosRun, window float64) {
-	prev := uint64(0)
-	for w := 0; w < chaosWindows; w++ {
-		e.Sim.Run(float64(w+1) * window)
-		done := e.Counters.QueriesDone
-		run.Done = append(run.Done, done-prev)
-		run.TP = append(run.TP, float64(done-prev)*60/window)
-		prev = done
+	e.Sim.Run(float64(chaosWindows) * window)
+	e.Trace.Sampler.Flush(e.Sim.Now())
+	samples := e.Trace.Sampler.Samples()
+	if len(samples) > chaosWindows {
+		samples = samples[:chaosWindows]
+	}
+	for _, smp := range samples {
+		run.Done = append(run.Done, smp.Delta.QueriesDone)
+		run.TP = append(run.TP, float64(smp.Delta.QueriesDone)*60/window)
 	}
 	run.Latency = e.Counters.Latencies()
+	run.Trace = e.Trace.Data()
 }
 
 // meanTP averages the per-window throughput over [from, to).
@@ -157,6 +180,47 @@ func chaosReport(rep *Report, control, faulted ChaosRun) {
 	if len(faulted.Injected) == 0 {
 		ev.AddRow("-", "(none)", "-", "-", "-", "-")
 	}
+
+	chaosTimeline(rep, faulted)
+	rep.Trace = faulted.Trace
+}
+
+// chaosTimeline renders the faulted run's flight-recorder views: the windowed
+// time-series (memory throughput, queue depths, steals alongside the progress
+// counter) and the control-plane decision log with causes.
+func chaosTimeline(rep *Report, faulted ChaosRun) {
+	if faulted.Trace == nil {
+		return
+	}
+	tl := rep.AddTable("flight recorder: faulted-run time-series", []string{
+		"t(ms)", "done", "MC GiB/s", "per-socket GiB/s", "queued", "stolen"})
+	for _, smp := range faulted.Trace.Samples {
+		per := make([]string, len(smp.Delta.MCBytes))
+		for i, g := range smp.MCGiBs() {
+			per[i] = f1(g)
+		}
+		queued := 0
+		for _, q := range smp.QueueDepths {
+			queued += q
+		}
+		tl.AddRow(fmt.Sprintf("%.1f", smp.Time*1e3), itoa(int(smp.Delta.QueriesDone)),
+			f1(smp.TotalMCGiBs()), strings.Join(per, "/"),
+			itoa(queued), itoa(int(smp.Delta.TasksStolen)))
+	}
+
+	const maxDecisionRows = 40
+	dl := rep.AddTable("flight recorder: faulted-run decisions", []string{
+		"t(ms)", "source", "kind", "item", "cause"})
+	for i, d := range faulted.Trace.Decisions {
+		if i >= maxDecisionRows {
+			dl.AddRow("...", "", "", "", fmt.Sprintf("(%d more)", len(faulted.Trace.Decisions)-maxDecisionRows))
+			break
+		}
+		dl.AddRow(fmt.Sprintf("%.1f", d.Time*1e3), d.Source, d.Kind, d.Item, d.Cause)
+	}
+	if len(faulted.Trace.Decisions) == 0 {
+		dl.AddRow("-", "(none)", "-", "-", "-")
+	}
 }
 
 // ---- chaos-socket: socket failure and return under the adaptive placer ----
@@ -183,6 +247,7 @@ func RunChaosSocket(s Scale, faulted bool) ChaosRun {
 	e.Placer.AddReplica(replCol, chaosSocketVictim)
 
 	window, _ := chaosHorizon(s)
+	chaosTrace(e, window)
 	cfg := adaptive.DefaultConfig()
 	cfg.Period = window / 4
 	placer := adaptive.New(e, &adaptive.Catalog{Tables: []*colstore.Table{table}}, cfg)
@@ -253,6 +318,7 @@ func RunChaosThermal(s Scale, faulted bool) ChaosRun {
 	e.Placer.PlaceRR(table)
 
 	window, _ := chaosHorizon(s)
+	chaosTrace(e, window)
 	var inj *chaos.Injector
 	label := "fault-free control"
 	if faulted {

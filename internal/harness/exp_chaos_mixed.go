@@ -10,6 +10,7 @@ import (
 	"numacs/internal/core"
 	"numacs/internal/delta"
 	"numacs/internal/sharedscan"
+	"numacs/internal/trace"
 	"numacs/internal/workload"
 )
 
@@ -72,6 +73,7 @@ func RunChaosAntagonist(s Scale, faulted bool) ChaosRun {
 	e.Placer.PlaceRR(table)
 
 	window, _ := chaosHorizon(s)
+	chaosTrace(e, window)
 	cfg := adaptive.DefaultConfig()
 	cfg.Period = window / 4
 	placer := adaptive.New(e, &adaptive.Catalog{Tables: []*colstore.Table{table}}, cfg)
@@ -100,6 +102,7 @@ func RunChaosAntagonist(s Scale, faulted bool) ChaosRun {
 		Seed: 5,
 	})
 	e.Sim.AddActor(gen)
+	chaosTenantSeries(e, gen)
 	gen.Start()
 
 	run := ChaosRun{Label: label, Faulted: faulted, Window: window}
@@ -107,6 +110,20 @@ func RunChaosAntagonist(s Scale, faulted bool) ChaosRun {
 	run.Actions = placer.Actions
 	run.Tenants = gen.Stats()
 	return run
+}
+
+// chaosTenantSeries wires the multi-tenant generator's cumulative per-tenant
+// counters into the flight recorder's sampler, so every time-series window
+// carries per-tenant completed/shed deltas.
+func chaosTenantSeries(e *core.Engine, gen *workload.MultiTenant) {
+	e.Trace.Sampler.TenantCounts = func() []trace.TenantCount {
+		stats := gen.Stats()
+		out := make([]trace.TenantCount, len(stats))
+		for i, ts := range stats {
+			out[i] = trace.TenantCount{Name: ts.Name, Completed: ts.Completed, Shed: ts.Shed}
+		}
+		return out
+	}
 }
 
 func runChaosAntagonist(s Scale) *Report {
@@ -164,6 +181,7 @@ func RunChaosWriteStorm(s Scale, faulted bool) ChaosRun {
 	scanCol := table.Parts[0].Columns[0]
 
 	window, _ := chaosHorizon(s)
+	chaosTrace(e, window)
 	e.EnableSharedScans(sharedscan.Config{})
 
 	cfg := adaptive.DefaultConfig()
@@ -252,6 +270,7 @@ func RunChaosBurst(s Scale, faulted bool) ChaosRun {
 	e.Placer.PlaceRR(table)
 
 	window, _ := chaosHorizon(s)
+	chaosTrace(e, window)
 	e.EnableSharedScans(sharedscan.Config{JoinWindow: chaosBurstJoinWindow})
 	e.EnableAdmission(chaosAdmissionConfig(s, []admit.TenantSpec{
 		{Name: chaosSteadyTenant, Weight: 2},
@@ -283,6 +302,7 @@ func RunChaosBurst(s Scale, faulted bool) ChaosRun {
 		Seed: 5,
 	})
 	e.Sim.AddActor(gen)
+	chaosTenantSeries(e, gen)
 	gen.Start()
 
 	run := ChaosRun{Label: label, Faulted: faulted, Window: window}

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"numacs/internal/trace"
 )
 
 // TableBlock is one rendered table of a report.
@@ -20,6 +22,11 @@ type Report struct {
 	Description string
 	Tables      []*TableBlock
 	Results     []Result
+
+	// Trace is the experiment's flight-recorder data when the experiment
+	// records one (the chaos suite attaches its faulted run's recorder);
+	// scanbench -trace exports it as JSONL and a Chrome trace file.
+	Trace *trace.Data `json:",omitempty"`
 }
 
 // AddTable appends a table block.

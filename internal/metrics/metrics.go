@@ -315,6 +315,17 @@ func (h *Histogram) P50() float64 { return h.Percentile(50) }
 // experiment bounds.
 func (h *Histogram) P99() float64 { return h.Percentile(99) }
 
+// Merge appends every sample of other into h (other is unchanged). The
+// multi-tenant reports use it to aggregate per-tenant distributions into a
+// machine-wide one.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+}
+
 // Reset drops all samples.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]

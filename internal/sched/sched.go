@@ -38,6 +38,11 @@ type Task struct {
 	// Run starts execution on a worker. The implementation must eventually
 	// call done (it may do so synchronously for zero-cost tasks).
 	Run func(w *Worker, done func())
+	// OnStart, when non-nil, is invoked at pickup time — before Run — with
+	// the executing worker and whether the pickup was a cross-socket steal.
+	// The flight recorder uses it to stamp first-task times and per-socket
+	// task counts; it must only observe, never reschedule.
+	OnStart func(w *Worker, stolen bool)
 
 	seq      uint64
 	homeTG   int // TG the task was enqueued on
@@ -495,6 +500,9 @@ func (s *Scheduler) start(w *Worker, t *Task, now float64, stolen bool) {
 	w.Bound = t.Affinity >= 0
 	if stolen {
 		s.Counters.TasksStolen++
+	}
+	if t.OnStart != nil {
+		t.OnStart(w, stolen)
 	}
 	t.Run(w, func() { s.finish(w) })
 }

@@ -30,9 +30,12 @@
 package sharedscan
 
 import (
+	"fmt"
+
 	"numacs/internal/colstore"
 	"numacs/internal/exec"
 	"numacs/internal/sim"
+	"numacs/internal/trace"
 )
 
 // Config tunes the cohort registry. The zero value is usable: New fills
@@ -90,6 +93,11 @@ type Member struct {
 	// window. It may reenter Submit synchronously (closed-loop clients
 	// reissue), so the registry compacts its queues before firing it.
 	OnShed func()
+	// Trace, when non-nil, is the statement's flight-recorder span: the
+	// registry stamps the cohort lifecycle onto it (join-window wait,
+	// mid-flight attach, launch, shed) and threads it into the member's
+	// pipeline so operator phases land on the same record.
+	Trace *trace.Statement
 }
 
 // Stats counts registry outcomes for reports and tests.
@@ -136,6 +144,11 @@ type Registry struct {
 	byKey map[string]*keyState
 	keys  []*keyState // deterministic Tick order
 	stats Stats
+
+	// Decisions, when non-nil, is the flight recorder's decision log: the
+	// registry records cohort launches, mid-flight attaches, wrap passes,
+	// and join-window sheds with their membership numbers.
+	Decisions *trace.DecisionLog
 }
 
 // New builds a registry over the engine's operator environment. Zero config
@@ -185,6 +198,9 @@ func (r *Registry) state(key string) *keyState {
 // forming cohort for at most JoinWindow.
 func (r *Registry) Submit(m *Member) {
 	r.stats.Statements++
+	if m.Trace != nil {
+		m.Trace.MarkCohortQueued(r.sim.Now())
+	}
 	ks := r.state(m.Key)
 	if c := ks.forming; c != nil {
 		c.members = append(c.members, m)
@@ -202,6 +218,17 @@ func (r *Registry) Submit(m *Member) {
 				}
 				c.attachers = append(c.attachers, m)
 				r.stats.Attached++
+				if m.Trace != nil {
+					m.Trace.MarkAttached()
+					m.Trace.MarkCohortLaunched(r.sim.Now())
+				}
+				if r.Decisions != nil {
+					r.Decisions.Record(trace.Decision{
+						Time: r.sim.Now(), Source: "cohort", Kind: "attach", Item: m.Key, From: -1, To: -1,
+						Cause: fmt.Sprintf("running pass at %.0f%% of its bytes (attach bound %.0f%%), %d riders",
+							f*100, r.cfg.AttachFraction*100, len(c.attachers)),
+					})
+				}
 				return
 			}
 		}
@@ -252,8 +279,18 @@ func (r *Registry) compactExpired(c *cohort, now float64) []*Member {
 
 // fireSheds counts and fires the shed hooks.
 func (r *Registry) fireSheds(expired []*Member) {
+	now := r.sim.Now()
 	for _, m := range expired {
 		r.stats.Shed++
+		if m.Trace != nil {
+			m.Trace.MarkShed(now, "join-window")
+		}
+		if r.Decisions != nil {
+			r.Decisions.Record(trace.Decision{
+				Time: now, Source: "cohort", Kind: "shed", Item: m.Key, From: -1, To: -1,
+				Cause: fmt.Sprintf("deadline %.1fms passed while waiting in the join window", m.Deadline*1e3),
+			})
+		}
 		if m.OnShed != nil {
 			m.OnShed()
 		}
@@ -288,6 +325,19 @@ func (r *Registry) launch(ks *keyState, c *cohort) {
 	} else {
 		r.stats.Merged += uint64(len(c.members) - 1)
 	}
+	now := r.sim.Now()
+	for _, m := range c.members {
+		if m.Trace != nil {
+			m.Trace.MarkCohortLaunched(now)
+		}
+	}
+	if r.Decisions != nil {
+		r.Decisions.Record(trace.Decision{
+			Time: now, Source: "cohort", Kind: "launch", Item: c.key, From: -1, To: -1,
+			Cause: fmt.Sprintf("%d members share one pass (fan-out cap %d)",
+				len(c.members), c.pass.FanoutCap),
+		})
+	}
 	ks.running = c
 	pl := &exec.Pipeline{
 		Env:        r.env,
@@ -297,6 +347,7 @@ func (r *Registry) launch(ks *keyState, c *cohort) {
 		MaxFanout:  leader.MaxFanout,
 		Ops:        []exec.Operator{c.pass, leader.SecondOp(memberSource{c.pass, 0})},
 		OnDone:     leader.OnDone,
+		Trace:      leader.Trace,
 	}
 	pl.Start()
 	r.fireSheds(expired)
@@ -329,6 +380,13 @@ func (r *Registry) mainDone(ks *keyState, c *cohort) {
 				r.startFollower(m, wrap.MemberRegions(i+1))
 			}
 		}
+		if r.Decisions != nil {
+			r.Decisions.Record(trace.Decision{
+				Time: r.sim.Now(), Source: "cohort", Kind: "wrap", Item: c.key, From: -1, To: -1,
+				Cause: fmt.Sprintf("%d attachers re-stream the missed %.0f%% prefix",
+					len(c.attachers), c.maxMissed*100),
+			})
+		}
 		pl := &exec.Pipeline{
 			Env:        r.env,
 			Strategy:   al.Strategy,
@@ -337,6 +395,7 @@ func (r *Registry) mainDone(ks *keyState, c *cohort) {
 			MaxFanout:  al.MaxFanout,
 			Ops:        []exec.Operator{wrap, al.SecondOp(memberSource{wrap, 0})},
 			OnDone:     al.OnDone,
+			Trace:      al.Trace,
 		}
 		pl.Start()
 	}
@@ -369,6 +428,7 @@ func (r *Registry) startFollower(m *Member, regions []exec.Region) {
 		MaxFanout:  m.MaxFanout,
 		Ops:        []exec.Operator{src, m.SecondOp(src)},
 		OnDone:     m.OnDone,
+		Trace:      m.Trace,
 	}
 	pl.Start()
 }
