@@ -13,6 +13,12 @@
 // the raw text. Missing inputs and disjoint benchmark sets soft-pass with a
 // warning, so the first run on a fresh repository (no prior artifact) does
 // not fail.
+//
+// A second mode, -trend <dir>, reads every BENCH_*.json artifact in the
+// directory (a downloaded slice of CI history), orders them by run number,
+// and prints each benchmark's ns/row trajectory across the runs plus the
+// first-to-last drift — the long-horizon view the two-point gate cannot
+// give.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -162,11 +169,120 @@ func run(prevPath, currPath string, threshold float64, stdout io.Writer) int {
 	return 0
 }
 
+// trendRun is one BENCH artifact's contribution to the trajectory: its CI
+// run number and the min-over-repeats ns/row metrics it recorded.
+type trendRun struct {
+	run     int
+	metrics map[string]float64
+}
+
+// loadTrendRun parses one BENCH_<run>.json artifact. The run number comes
+// from the artifact's "run" field; when absent (hand-built fixtures) it
+// falls back to the digits in the file name.
+func loadTrendRun(path string) (trendRun, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return trendRun{}, err
+	}
+	var artifact struct {
+		Run         int    `json:"run"`
+		KernelBench string `json:"kernel_bench"`
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		return trendRun{}, fmt.Errorf("%s: parse artifact JSON: %w", path, err)
+	}
+	tr := trendRun{run: artifact.Run}
+	if tr.run == 0 {
+		base := strings.TrimSuffix(filepath.Base(path), ".json")
+		if i := strings.LastIndex(base, "_"); i >= 0 {
+			tr.run, _ = strconv.Atoi(base[i+1:])
+		}
+	}
+	tr.metrics, err = parseBench(strings.NewReader(artifact.KernelBench))
+	if err != nil {
+		return trendRun{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// runTrend prints the per-benchmark ns/row trajectory over every BENCH_*.json
+// in dir, ordered by run number, with the first-to-last drift per benchmark.
+func runTrend(dir string, stdout io.Writer) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	var runs []trendRun
+	for _, p := range paths {
+		tr, err := loadTrendRun(p)
+		if err != nil {
+			fmt.Fprintf(stdout, "::warning::benchdiff -trend: skipping %v\n", err)
+			continue
+		}
+		if len(tr.metrics) > 0 {
+			runs = append(runs, tr)
+		}
+	}
+	if len(runs) == 0 {
+		fmt.Fprintf(stdout, "::warning::benchdiff -trend: no BENCH_*.json artifacts with %s benchmarks under %s\n", metricUnit, dir)
+		return 0
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].run < runs[j].run })
+
+	names := map[string]bool{}
+	for _, tr := range runs {
+		for name := range tr.metrics {
+			names[name] = true
+		}
+	}
+	var sorted []string
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	head := make([]string, 0, len(runs))
+	for _, tr := range runs {
+		head = append(head, fmt.Sprintf("%9s", fmt.Sprintf("run %d", tr.run)))
+	}
+	fmt.Fprintf(stdout, "%-60s %s  %s\n", "benchmark ("+metricUnit+")", strings.Join(head, " "), "drift")
+	for _, name := range sorted {
+		cells := make([]string, 0, len(runs))
+		first, last := 0.0, 0.0
+		seen := 0
+		for _, tr := range runs {
+			v, ok := tr.metrics[name]
+			if !ok {
+				cells = append(cells, fmt.Sprintf("%9s", "-"))
+				continue
+			}
+			if seen == 0 {
+				first = v
+			}
+			last = v
+			seen++
+			cells = append(cells, fmt.Sprintf("%9.3f", v))
+		}
+		drift := "new"
+		if seen > 1 && first > 0 {
+			drift = fmt.Sprintf("%+.1f%%", (last/first-1)*100)
+		}
+		fmt.Fprintf(stdout, "%-60s %s  %s\n", name, strings.Join(cells, " "), drift)
+	}
+	fmt.Fprintf(stdout, "benchdiff: trajectory over %d runs, %d benchmarks\n", len(runs), len(sorted))
+	return 0
+}
+
 func main() {
 	prevPath := flag.String("prev", "", "previous run: BENCH_<run>.json artifact or raw benchmark text")
 	currPath := flag.String("curr", "", "current run: raw benchmark text or BENCH_<run>.json")
 	threshold := flag.Float64("threshold", 0.10, "fail when curr/prev - 1 exceeds this fraction")
+	trendDir := flag.String("trend", "", "directory of BENCH_*.json artifacts to print the per-benchmark ns/row trajectory over")
 	flag.Parse()
+	if *trendDir != "" {
+		os.Exit(runTrend(*trendDir, os.Stdout))
+	}
 	if *currPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -curr is required")
 		os.Exit(2)

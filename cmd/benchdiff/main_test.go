@@ -137,6 +137,68 @@ func TestGateWarnsOnEmptyArtifact(t *testing.T) {
 	}
 }
 
+// TestTrendTrajectory: -trend orders BENCH_*.json artifacts by run number
+// (not glob order), prints each benchmark's min-over-repeats ns/row per run
+// with "-" holes for absent runs, and reports the first-to-last drift.
+func TestTrendTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Run 10 sorts after run 9 numerically even though "BENCH_10" globs first.
+	write("BENCH_9.json", `{"run": 9, "kernel_bench": "BenchmarkScan-4 100 1000 ns/op 0.500 ns/row\nBenchmarkScan-4 100 1000 ns/op 0.480 ns/row\n"}`)
+	write("BENCH_10.json", `{"run": 10, "kernel_bench": "BenchmarkScan-4 100 1000 ns/op 0.400 ns/row\nBenchmarkNew-4 100 1000 ns/op 2.000 ns/row\n"}`)
+	write("BENCH_11.json", `{"run": 11, "kernel_bench": "BenchmarkScan-4 100 1000 ns/op 0.360 ns/row\n"}`)
+	var sb strings.Builder
+	if code := runTrend(dir, &sb); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, sb.String())
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[0], "run 9") || !strings.Contains(lines[0], "run 11") {
+		t.Fatalf("header misses run labels:\n%s", out)
+	}
+	if strings.Index(lines[0], "run 9") > strings.Index(lines[0], "run 10") {
+		t.Fatalf("runs not ordered numerically:\n%s", out)
+	}
+	var scanLine, newLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "BenchmarkScan") {
+			scanLine = l
+		}
+		if strings.HasPrefix(l, "BenchmarkNew") {
+			newLine = l
+		}
+	}
+	// Min over repeats: run 9 contributes 0.480, not 0.500; the drift is
+	// first-to-last 0.480 -> 0.360 = -25%.
+	if !strings.Contains(scanLine, "0.480") || strings.Contains(scanLine, "0.500") {
+		t.Fatalf("min-over-repeats not applied:\n%s", scanLine)
+	}
+	if !strings.Contains(scanLine, "-25.0%") {
+		t.Fatalf("first-to-last drift missing:\n%s", scanLine)
+	}
+	// BenchmarkNew appears only in run 10: holes render as "-", single-run
+	// benchmarks report "new" instead of a drift.
+	if newLine == "" || !strings.HasSuffix(newLine, "new") {
+		t.Fatalf("single-run benchmark must report new:\n%s", newLine)
+	}
+}
+
+// TestTrendEmptyDir: a directory with no artifacts warns and exits 0.
+func TestTrendEmptyDir(t *testing.T) {
+	var sb strings.Builder
+	if code := runTrend(t.TempDir(), &sb); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "::warning::") {
+		t.Fatalf("empty dir must warn:\n%s", sb.String())
+	}
+}
+
 // TestGateRenamedSuffix: prev stored with a different GOMAXPROCS suffix still
 // matches — the suffix is stripped on both sides.
 func TestGateRenamedSuffix(t *testing.T) {

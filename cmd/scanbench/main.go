@@ -9,6 +9,7 @@
 //	scanbench -exp fig12 -scale quick
 //	scanbench -exp shared-scan -scale quick -json
 //	scanbench -exp chaos-socket -scale quick -trace traces/
+//	scanbench -exp chaos-socket -scale quick -triage
 //
 // -list prints one registered experiment id per line, so scripts (and the
 // CI experiment loop) can enumerate every experiment without a hand-kept
@@ -16,9 +17,14 @@
 // tables — the format the CI bench job archives into the BENCH_<run>.json
 // perf-trajectory artifact. -trace <dir> writes each experiment's
 // flight-recorder data (when the experiment records one) as <dir>/<id>.jsonl
-// plus a Perfetto/chrome://tracing-loadable <dir>/<id>.trace.json. Each
-// experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// plus a Perfetto/chrome://tracing-loadable <dir>/<id>.trace.json. -triage
+// runs the insight layer's automated analysis on each traced experiment and
+// prints the triage report (incidents with suspect decisions, SLO verdicts,
+// blame decomposition); combined with -trace it also writes
+// <dir>/<id>.triage.json, and with -json the triage rides inside the report
+// document. -cpuprofile / -memprofile write pprof profiles of the whole
+// invocation. Each experiment prints the same rows/series the paper reports;
+// see EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -27,10 +33,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"numacs/internal/harness"
+	"numacs/internal/insight"
 	"numacs/internal/trace"
 )
 
@@ -42,8 +51,41 @@ func main() {
 		scale    = flag.String("scale", "full", "experiment scale: full or quick")
 		jsonOut  = flag.Bool("json", false, "emit each report as JSON instead of rendered tables")
 		traceDir = flag.String("trace", "", "directory to write flight-recorder exports into (<id>.jsonl and <id>.trace.json)")
+		triage   = flag.Bool("triage", false, "run the insight analyzer on traced experiments and print the triage report (with -trace also writes <id>.triage.json)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := createWithDirs(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := createWithDirs(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, id := range harness.IDs() {
@@ -84,14 +126,28 @@ func main() {
 		}
 		start := time.Now()
 		rep := e.Run(sc)
+		var tri *insight.TriageReport
+		if *triage {
+			tri = triageFor(rep)
+			if tri == nil {
+				fmt.Fprintf(os.Stderr, "[%s: no flight-recorder data, skipping -triage]\n", e.ID)
+			}
+		}
 		if *traceDir != "" {
 			if err := writeTrace(*traceDir, e.ID, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "writing trace for %s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
+			if tri != nil {
+				if err := writeTriage(*traceDir, e.ID, tri); err != nil {
+					fmt.Fprintf(os.Stderr, "writing triage for %s: %v\n", e.ID, err)
+					os.Exit(1)
+				}
+			}
 		}
 		if *jsonOut {
 			// Keep stdout pure JSON; the timing note goes to stderr.
+			rep.Triage = tri
 			if err := enc.Encode(rep); err != nil {
 				fmt.Fprintf(os.Stderr, "encoding %s: %v\n", e.ID, err)
 				os.Exit(1)
@@ -100,8 +156,56 @@ func main() {
 			continue
 		}
 		fmt.Println(rep.Render())
+		if tri != nil {
+			fmt.Println(tri.Render())
+		}
 		fmt.Printf("[%s: %s scale, wall %.1fs]\n\n", e.ID, sc.Name, time.Since(start).Seconds())
 	}
+}
+
+// triageFor returns the experiment's triage report: the one the experiment
+// already attached (the chaos suite analyzes against its own SLO spec), or a
+// fresh analysis under the baseline no-livelock objective for traced
+// experiments that attach none. Untraced experiments return nil.
+func triageFor(rep *harness.Report) *insight.TriageReport {
+	if rep.Triage != nil {
+		return rep.Triage
+	}
+	if rep.Trace == nil {
+		return nil
+	}
+	return insight.Analyze(rep.Trace, insight.SLOSpec{MinWindowDone: 1})
+}
+
+// writeTriage writes the structured triage report as <dir>/<id>.triage.json
+// beside the flight-recorder exports.
+func writeTriage(dir, id string, tri *insight.TriageReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".triage.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tri); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// createWithDirs creates the file, making parent directories as needed (the
+// CI bench job points -cpuprofile/-memprofile into a not-yet-existing
+// profiles/ directory).
+func createWithDirs(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
 }
 
 // writeTrace exports an experiment's flight-recorder data into dir as a JSONL

@@ -183,6 +183,7 @@ func chaosReport(rep *Report, control, faulted ChaosRun) {
 
 	chaosTimeline(rep, faulted)
 	rep.Trace = faulted.Trace
+	autoTriage(rep, faulted)
 }
 
 // chaosTimeline renders the faulted run's flight-recorder views: the windowed

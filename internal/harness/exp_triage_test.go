@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"numacs/internal/insight"
+)
+
+// TestTriageChaosSocket is the insight layer's acceptance test on the
+// chaos-socket scenario, at both simulator scales. On the traced faulted
+// run the triage report must contain a memory-throughput dip incident inside
+// the fault windows whose suspect set includes the injected socket-offline
+// fault, and a recovery incident attributed to the placer's post-clear
+// re-replication. On the fault-free control the very same analyzer and SLO
+// spec must report zero incidents and no failed verdicts — the detector's
+// floors are tuned so healthy noise never alarms.
+func TestTriageChaosSocket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	scales := []Scale{QuickScale(), FullScale()}
+	for _, s := range scales {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			faulted := RunChaosSocket(s, true)
+			control := RunChaosSocket(s, false)
+			spec := chaosSLOs(faulted.Window)
+
+			tri := insight.Analyze(faulted.Trace, spec)
+			if tri.Statements == 0 || tri.Windows != chaosWindows {
+				t.Fatalf("triage saw %d statements, %d windows (want %d windows)",
+					tri.Statements, tri.Windows, chaosWindows)
+			}
+
+			// The MC-throughput dip: an incident on an mc-* series whose span
+			// intersects the fault windows, with the injected socket-offline
+			// in its suspect set.
+			clearAt := float64(chaosClearWindow) * faulted.Window
+			var sawDip, sawRecovery bool
+			for _, in := range tri.Incidents {
+				if !strings.HasPrefix(in.Series, "mc-") {
+					continue
+				}
+				if in.Direction == insight.Dip &&
+					in.FirstWindow <= chaosClearWindow-1 && in.LastWindow >= chaosFaultWindow {
+					for _, d := range in.SuspectDecisions {
+						if d.Source == "chaos" && d.Kind == "socket-offline" {
+							sawDip = true
+						}
+					}
+				}
+				if in.Direction == insight.Spike && in.FirstWindow >= chaosClearWindow {
+					for _, d := range in.SuspectDecisions {
+						if d.Source == "placer" && d.Kind == "replicate" &&
+							d.To == chaosSocketVictim && d.Time >= clearAt {
+							sawRecovery = true
+						}
+					}
+				}
+			}
+			if !sawDip {
+				t.Errorf("no MC dip incident with the injected socket-offline in its suspects; incidents: %v", tri.Incidents)
+			}
+			if !sawRecovery {
+				t.Errorf("no MC recovery spike attributed to the placer's re-replication to socket %d; incidents: %v",
+					chaosSocketVictim, tri.Incidents)
+			}
+
+			// The fault must also be visible to the SLO layer on the faulted
+			// run as failed or skipped-nothing — at minimum the verdicts exist.
+			if len(tri.Verdicts) == 0 {
+				t.Error("faulted triage evaluated no SLO verdicts")
+			}
+
+			// Control: the same analyzer and spec find a healthy run — zero
+			// incidents, zero failed verdicts.
+			ctl := insight.Analyze(control.Trace, spec)
+			if len(ctl.Incidents) != 0 {
+				t.Errorf("control run reports %d incidents, want 0: %v", len(ctl.Incidents), ctl.Incidents)
+			}
+			if n := ctl.FailedVerdicts(); n != 0 {
+				t.Errorf("control run fails %d SLO verdicts, want 0: %+v", n, ctl.Verdicts)
+			}
+		})
+	}
+}
+
+// TestChaosReportHasTriage: the chaos reports attach the structured triage
+// report and render its tables, so scanbench -triage and the CI artifact
+// pipeline get it without re-analyzing.
+func TestChaosReportHasTriage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos simulation runs")
+	}
+	e, ok := ByID("chaos-socket")
+	if !ok {
+		t.Fatal("chaos-socket not registered")
+	}
+	rep := e.Run(QuickScale())
+	if rep.Triage == nil {
+		t.Fatal("report has no triage attached")
+	}
+	if rep.Triage.Meta.RunID != rep.ID {
+		t.Errorf("triage run id %q, want %q", rep.Triage.Meta.RunID, rep.ID)
+	}
+	var sawIncidents, sawVerdicts bool
+	for _, tb := range rep.Tables {
+		switch tb.Name {
+		case "auto-triage: incidents (faulted run)":
+			sawIncidents = true
+			if len(tb.Rows) == 0 {
+				t.Error("incident table is empty (want rows or the (none) placeholder)")
+			}
+		case "auto-triage: SLO verdicts (faulted run)":
+			sawVerdicts = true
+			if len(tb.Rows) == 0 {
+				t.Error("verdict table is empty")
+			}
+		}
+	}
+	if !sawIncidents || !sawVerdicts {
+		t.Fatalf("auto-triage tables missing: incidents %v, verdicts %v", sawIncidents, sawVerdicts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"numacs/internal/insight"
 	"numacs/internal/trace"
 )
 
@@ -27,6 +28,11 @@ type Report struct {
 	// records one (the chaos suite attaches its faulted run's recorder);
 	// scanbench -trace exports it as JSONL and a Chrome trace file.
 	Trace *trace.Data `json:",omitempty"`
+
+	// Triage is the insight layer's automated analysis of Trace (incident
+	// detection, SLO verdicts, blame decomposition) when the experiment runs
+	// one; scanbench -triage renders it and -json carries it structured.
+	Triage *insight.TriageReport `json:",omitempty"`
 }
 
 // AddTable appends a table block.

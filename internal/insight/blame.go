@@ -1,0 +1,188 @@
+package insight
+
+import (
+	"fmt"
+	"sort"
+
+	"numacs/internal/trace"
+)
+
+// Breakdown is one critical-path blame vector in seconds: where a statement
+// (or a group's aggregate) spent its life between submission and completion.
+// The components come straight from the recorder's span fields — admission
+// queue wait, shared-scan join-window wait, scheduler queue wait, execution —
+// and Other absorbs the remainder (phase-barrier drain gaps, inter-phase
+// turnaround) so the vector always sums to the total latency.
+type Breakdown struct {
+	// Queue is the admission-queue wait (zero without an admission
+	// controller); Join the shared-scan join-window wait; Sched the gap
+	// between phase open and first task pickup summed over phases; Exec the
+	// first-task-to-phase-close execution time; Other the unattributed rest.
+	Queue float64 `json:"queue"`
+	Join  float64 `json:"join"`
+	Sched float64 `json:"sched"`
+	Exec  float64 `json:"exec"`
+	Other float64 `json:"other"`
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Queue + b.Join + b.Sched + b.Exec + b.Other }
+
+// add accumulates o into b.
+func (b *Breakdown) add(o Breakdown) {
+	b.Queue += o.Queue
+	b.Join += o.Join
+	b.Sched += o.Sched
+	b.Exec += o.Exec
+	b.Other += o.Other
+}
+
+// scale divides every component by n (no-op for n <= 0).
+func (b *Breakdown) scale(n float64) {
+	if n <= 0 {
+		return
+	}
+	b.Queue /= n
+	b.Join /= n
+	b.Sched /= n
+	b.Exec /= n
+	b.Other /= n
+}
+
+// Dominant returns the largest component's name and its share of the total
+// ("exec 72%" style); ("-", 0) when the vector is zero.
+func (b Breakdown) Dominant() (string, float64) {
+	total := b.Total()
+	if total <= 0 {
+		return "-", 0
+	}
+	name, v := "queue", b.Queue
+	for _, c := range []struct {
+		n string
+		v float64
+	}{{"join", b.Join}, {"sched", b.Sched}, {"exec", b.Exec}, {"other", b.Other}} {
+		if c.v > v {
+			name, v = c.n, c.v
+		}
+	}
+	return name, v / total
+}
+
+// String renders the vector as its dominant component plus the full split.
+func (b Breakdown) String() string {
+	name, share := b.Dominant()
+	return fmt.Sprintf("%s %.0f%% (queue %.2f / join %.2f / sched %.2f / exec %.2f / other %.2f ms)",
+		name, share*100, b.Queue*1e3, b.Join*1e3, b.Sched*1e3, b.Exec*1e3, b.Other*1e3)
+}
+
+// statementBreakdown splits one completed statement's latency along its
+// critical path.
+func statementBreakdown(s *trace.Statement) Breakdown {
+	b := Breakdown{
+		Queue: s.QueueWait(),
+		Join:  s.JoinWait,
+		Sched: s.SchedulerWait(),
+		Exec:  s.ExecSeconds(),
+	}
+	if total := s.Done - s.Submitted; total > b.Total() {
+		b.Other = total - b.Queue - b.Join - b.Sched - b.Exec
+	}
+	return b
+}
+
+// BlameRow is one group's (class's or tenant's) aggregated blame: completion
+// and shed counts, the p50/p99 of total latency, and two blame vectors — the
+// mean over all completed statements and the mean over the p95+ tail, whose
+// dominant component is the row's one-line diagnosis for "why is the tail
+// slow".
+type BlameRow struct {
+	// Group names the class or tenant ("-" when the trace recorded none).
+	Group string `json:"group"`
+	// Count is completed statements; Shed the dropped ones (admission
+	// deadline or join-window).
+	Count int `json:"count"`
+	Shed  int `json:"shed"`
+	// P50 and P99 are total-latency percentiles over completed statements,
+	// in seconds.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	// Mean is the average blame vector over all completed statements; Tail
+	// the average over the statements at or above the p95 latency — the ones
+	// that set the p99.
+	Mean Breakdown `json:"mean"`
+	Tail Breakdown `json:"tail"`
+}
+
+// blameTable aggregates the statements into blame rows keyed by group.
+func blameTable(stmts []*trace.Statement, key func(*trace.Statement) string) []BlameRow {
+	type acc struct {
+		row  BlameRow
+		lats []float64
+		done []*trace.Statement
+	}
+	groups := map[string]*acc{}
+	get := func(g string) *acc {
+		a, ok := groups[g]
+		if !ok {
+			name := g
+			if name == "" {
+				name = "-"
+			}
+			a = &acc{row: BlameRow{Group: name}}
+			groups[g] = a
+		}
+		return a
+	}
+	for _, s := range stmts {
+		a := get(key(s))
+		if s.Shed {
+			a.row.Shed++
+			continue
+		}
+		if s.Done < 0 {
+			continue // in flight at capture: not attributable
+		}
+		a.row.Count++
+		a.lats = append(a.lats, s.Done-s.Submitted)
+		a.done = append(a.done, s)
+	}
+	var rows []BlameRow
+	for _, a := range groups {
+		if a.row.Count == 0 && a.row.Shed == 0 {
+			continue
+		}
+		if a.row.Count > 0 {
+			sort.Float64s(a.lats)
+			a.row.P50 = percentile(a.lats, 50)
+			a.row.P99 = percentile(a.lats, 99)
+			tailFloor := percentile(a.lats, 95)
+			nTail := 0
+			for _, s := range a.done {
+				b := statementBreakdown(s)
+				a.row.Mean.add(b)
+				if s.Done-s.Submitted >= tailFloor {
+					a.row.Tail.add(b)
+					nTail++
+				}
+			}
+			a.row.Mean.scale(float64(a.row.Count))
+			a.row.Tail.scale(float64(nTail))
+		}
+		rows = append(rows, a.row)
+	}
+	sortRows(rows)
+	return rows
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted (ascending)
+// values; zero for an empty slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

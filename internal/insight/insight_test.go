@@ -1,0 +1,304 @@
+package insight
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"numacs/internal/metrics"
+	"numacs/internal/trace"
+)
+
+// mcSamples builds a window-per-entry time-series whose total-MC GiB/s track
+// vals (one socket; throughput held constant at 100 completions per window so
+// only the MC series moves).
+func mcSamples(window float64, vals []float64) []trace.Sample {
+	out := make([]trace.Sample, len(vals))
+	for i, v := range vals {
+		out[i] = trace.Sample{
+			Time:   float64(i+1) * window,
+			Window: window,
+			Delta: metrics.Snapshot{
+				MCBytes:     []float64{v * window * (1 << 30)},
+				QueriesDone: 100,
+			},
+		}
+	}
+	return out
+}
+
+// completed builds a completed statement with an exact wait decomposition.
+func completed(id int, tenant, class string, submitted, queued, sched, exec float64) *trace.Statement {
+	s := &trace.Statement{
+		ID: id, Tenant: tenant, Class: class, Item: "t.c0",
+		Submitted: submitted, Admitted: submitted + queued, Done: -1,
+	}
+	start := s.Admitted
+	s.Phases = []trace.Phase{{
+		Name: "scan", Start: start, FirstTask: start + sched, End: start + sched + exec, Tasks: 1,
+	}}
+	s.Done = start + sched + exec
+	return s
+}
+
+// TestAnalyzeEmptyTrace: an empty recorder dump must analyze into an empty —
+// but well-formed — report: no incidents, no blame rows, every objective
+// skipped, and Render must not panic.
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	spec := SLOSpec{
+		Latency:       []LatencyTarget{{Class: "", Percentile: 99, Target: 0.01}},
+		FairnessFloor: 0.5,
+		MinWindowDone: 1,
+	}
+	rep := Analyze(&trace.Data{}, spec)
+	if len(rep.Incidents) != 0 {
+		t.Fatalf("empty trace produced %d incidents", len(rep.Incidents))
+	}
+	if len(rep.ByClass) != 0 || len(rep.ByTenant) != 0 {
+		t.Fatalf("empty trace produced blame rows: %v %v", rep.ByClass, rep.ByTenant)
+	}
+	if len(rep.Verdicts) != 3 {
+		t.Fatalf("got %d verdicts, want 3", len(rep.Verdicts))
+	}
+	for _, v := range rep.Verdicts {
+		if v.Status != VerdictSkipped {
+			t.Errorf("verdict %q on an empty trace is %q, want skipped", v.Name, v.Status)
+		}
+	}
+	if rep.FailedVerdicts() != 0 {
+		t.Errorf("empty trace failed %d verdicts", rep.FailedVerdicts())
+	}
+	if out := rep.Render(); !strings.Contains(out, "(none)") {
+		t.Errorf("render of empty report misses the empty-incidents marker:\n%s", out)
+	}
+}
+
+// TestAnalyzeSingleWindow: a run with one sampler window can never prime the
+// detector — no incidents, no panic — but the progress verdict still
+// evaluates against the one window.
+func TestAnalyzeSingleWindow(t *testing.T) {
+	d := &trace.Data{Samples: mcSamples(0.01, []float64{50})}
+	rep := Analyze(d, SLOSpec{MinWindowDone: 1})
+	if len(rep.Incidents) != 0 {
+		t.Fatalf("single-window run produced %d incidents", len(rep.Incidents))
+	}
+	if len(rep.Verdicts) != 1 || rep.Verdicts[0].Status != VerdictPass {
+		t.Fatalf("progress verdict on a single completing window: %+v", rep.Verdicts)
+	}
+	// And with a stalled single window the verdict fails instead of skipping.
+	d.Samples[0].Delta.QueriesDone = 0
+	rep = Analyze(d, SLOSpec{MinWindowDone: 1})
+	if rep.Verdicts[0].Status != VerdictFail {
+		t.Fatalf("stalled single window: %+v", rep.Verdicts[0])
+	}
+}
+
+// TestBlameDecomposition: the per-statement critical-path split must
+// reproduce the exact waits the spans encode, and the group aggregation must
+// average them.
+func TestBlameDecomposition(t *testing.T) {
+	stmts := []*trace.Statement{
+		completed(0, "a", "OLAP", 0, 0.004, 0.002, 0.010),
+		completed(1, "a", "OLAP", 0.001, 0.002, 0.004, 0.010),
+	}
+	rep := Analyze(&trace.Data{Statements: stmts}, SLOSpec{})
+	if len(rep.ByClass) != 1 || len(rep.ByTenant) != 1 {
+		t.Fatalf("rows: class %v tenant %v", rep.ByClass, rep.ByTenant)
+	}
+	row := rep.ByClass[0]
+	if row.Group != "OLAP" || row.Count != 2 || row.Shed != 0 {
+		t.Fatalf("class row: %+v", row)
+	}
+	const eps = 1e-12
+	if math.Abs(row.Mean.Queue-0.003) > eps || math.Abs(row.Mean.Sched-0.003) > eps ||
+		math.Abs(row.Mean.Exec-0.010) > eps || math.Abs(row.Mean.Other) > eps || math.Abs(row.Mean.Join) > eps {
+		t.Fatalf("mean blame: %+v", row.Mean)
+	}
+	// Totals must reconcile: the blame vector sums to the mean latency.
+	meanLat := ((0.004 + 0.002 + 0.010) + (0.002 + 0.004 + 0.010)) / 2
+	if math.Abs(row.Mean.Total()-meanLat) > eps {
+		t.Fatalf("blame total %.6f != mean latency %.6f", row.Mean.Total(), meanLat)
+	}
+	if name, _ := row.Tail.Dominant(); name != "exec" {
+		t.Fatalf("tail dominant %q, want exec", name)
+	}
+}
+
+// TestBlameAllShed: a tenant whose every statement was shed still gets a
+// blame row (count 0, shed N) with zero — not NaN — aggregates.
+func TestBlameAllShed(t *testing.T) {
+	shed := &trace.Statement{ID: 0, Tenant: "greedy", Class: "OLAP", Item: "t.c0",
+		Submitted: 0, Admitted: 0, Done: -1}
+	shed.MarkShed(0.005, "admission")
+	shed2 := &trace.Statement{ID: 1, Tenant: "greedy", Class: "OLAP", Item: "t.c1",
+		Submitted: 0.001, Admitted: 0.001, Done: -1}
+	shed2.MarkShed(0.006, "join-window")
+	ok := completed(2, "meek", "OLAP", 0, 0, 0.001, 0.004)
+
+	rep := Analyze(&trace.Data{Statements: []*trace.Statement{shed, shed2, ok}}, SLOSpec{})
+	var greedy *BlameRow
+	for i := range rep.ByTenant {
+		if rep.ByTenant[i].Group == "greedy" {
+			greedy = &rep.ByTenant[i]
+		}
+	}
+	if greedy == nil {
+		t.Fatalf("all-shed tenant missing from blame table: %+v", rep.ByTenant)
+	}
+	if greedy.Count != 0 || greedy.Shed != 2 {
+		t.Fatalf("all-shed row: %+v", greedy)
+	}
+	for _, v := range []float64{greedy.P50, greedy.P99, greedy.Mean.Total(), greedy.Tail.Total()} {
+		if math.IsNaN(v) || v != 0 {
+			t.Fatalf("all-shed aggregates not zero: %+v", greedy)
+		}
+	}
+}
+
+// TestIncidentDipWithSuspect: a clean level drop on the MC series raises
+// exactly one dip incident whose suspect set holds the decision logged at the
+// fault instant — and a later recovery raises a spike incident.
+func TestIncidentDipWithSuspect(t *testing.T) {
+	window := 0.01
+	// Windows 1-5 healthy at ~90, 6-8 faulted at 45, 9-10 recovered.
+	vals := []float64{90, 91, 89, 90, 90, 45, 45, 46, 90, 90}
+	d := &trace.Data{
+		Samples: mcSamples(window, vals),
+		Decisions: []trace.Decision{
+			{Time: 5.0 * window, Source: "chaos", Kind: "socket-offline", From: 1, To: 1, Cause: "scheduled"},
+			{Time: 8.2 * window, Source: "placer", Kind: "replicate", Item: "c0", From: 0, To: 1, Cause: "heat"},
+		},
+	}
+	rep := Analyze(d, SLOSpec{})
+	var dip, spike *Incident
+	for i := range rep.Incidents {
+		in := &rep.Incidents[i]
+		if in.Series != "mc-total" {
+			continue
+		}
+		switch in.Direction {
+		case Dip:
+			dip = in
+		case Spike:
+			spike = in
+		}
+	}
+	if dip == nil {
+		t.Fatalf("no mc-total dip detected: %+v", rep.Incidents)
+	}
+	if dip.FirstWindow != 5 {
+		t.Errorf("dip onset w%d, want w6 (index 5)", dip.FirstWindow+1)
+	}
+	if dip.Magnitude > -0.3 {
+		t.Errorf("dip magnitude %.2f, want <= -0.3", dip.Magnitude)
+	}
+	found := false
+	for _, s := range dip.SuspectDecisions {
+		if s.Source == "chaos" && s.Kind == "socket-offline" {
+			found = true
+		}
+	}
+	if !found || dip.Unexplained {
+		t.Errorf("dip suspects miss the fault decision: %+v", dip)
+	}
+	if spike == nil {
+		t.Fatalf("no mc-total recovery spike detected: %+v", rep.Incidents)
+	}
+	found = false
+	for _, s := range spike.SuspectDecisions {
+		if s.Source == "placer" && s.Kind == "replicate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recovery spike suspects miss the replicate decision: %+v", spike)
+	}
+}
+
+// TestIncidentUnexplained: an incident whose correlation interval holds zero
+// decisions is reported flagged Unexplained — never silently dropped.
+func TestIncidentUnexplained(t *testing.T) {
+	vals := []float64{90, 90, 90, 90, 40, 40, 90, 90}
+	d := &trace.Data{Samples: mcSamples(0.01, vals)} // empty decision log
+	rep := Analyze(d, SLOSpec{})
+	if len(rep.Incidents) == 0 {
+		t.Fatal("dip with no decisions vanished from the report")
+	}
+	for _, in := range rep.Incidents {
+		if !in.Unexplained || len(in.SuspectDecisions) != 0 {
+			t.Errorf("incident with empty decision log not marked unexplained: %+v", in)
+		}
+	}
+	// A decision outside the correlation interval must not become a suspect.
+	d.Decisions = []trace.Decision{{Time: 0.001, Source: "placer", Kind: "move"}}
+	rep = Analyze(d, SLOSpec{})
+	for _, in := range rep.Incidents {
+		if in.FirstWindow >= 4 && !in.Unexplained {
+			t.Errorf("far-away decision correlated into incident: %+v", in)
+		}
+	}
+}
+
+// TestSteadySeriesNoIncidents: ordinary noise around a level must stay
+// silent, including a series hovering near zero (the absolute floor).
+func TestSteadySeriesNoIncidents(t *testing.T) {
+	vals := []float64{100, 103, 98, 101, 99, 102, 97, 100, 101, 99}
+	rep := Analyze(&trace.Data{Samples: mcSamples(0.01, vals)}, SLOSpec{})
+	if len(rep.Incidents) != 0 {
+		t.Fatalf("steady series raised incidents: %+v", rep.Incidents)
+	}
+	nearZero := []float64{0.1, 0.12, 0.09, 0.4, 0.1, 0.11, 0.1, 0.3}
+	rep = Analyze(&trace.Data{Samples: mcSamples(0.01, nearZero)}, SLOSpec{})
+	for _, in := range rep.Incidents {
+		if in.Series == "mc-total" || strings.HasPrefix(in.Series, "mc-socket") {
+			t.Fatalf("near-zero series wiggle raised an incident: %+v", in)
+		}
+	}
+}
+
+// TestSLOVerdicts: latency targets pass and fail on the exact percentile,
+// fairness flags the starved tenant, and evidence carries the blame.
+func TestSLOVerdicts(t *testing.T) {
+	var stmts []*trace.Statement
+	// Tenant a: 8 fast statements; tenant b: 2 slow ones (scheduler-bound).
+	for i := 0; i < 8; i++ {
+		stmts = append(stmts, completed(i, "a", "OLAP", float64(i)*0.001, 0, 0.0005, 0.002))
+	}
+	for i := 8; i < 10; i++ {
+		stmts = append(stmts, completed(i, "b", "OLAP", float64(i)*0.001, 0, 0.040, 0.002))
+	}
+	d := &trace.Data{Statements: stmts}
+
+	spec := SLOSpec{
+		Latency: []LatencyTarget{
+			{Class: "OLAP", Percentile: 50, Target: 0.010},        // p50 ~2.5ms: pass
+			{Class: "OLAP", Percentile: 99, Target: 0.010},        // p99 ~42ms: fail
+			{Class: "Interactive", Percentile: 99, Target: 0.010}, // no data: skip
+		},
+		FairnessFloor: 0.5,
+	}
+	rep := Analyze(d, spec)
+	if len(rep.Verdicts) != 4 {
+		t.Fatalf("got %d verdicts: %+v", len(rep.Verdicts), rep.Verdicts)
+	}
+	if rep.Verdicts[0].Status != VerdictPass {
+		t.Errorf("p50 verdict: %+v", rep.Verdicts[0])
+	}
+	if rep.Verdicts[1].Status != VerdictFail {
+		t.Errorf("p99 verdict: %+v", rep.Verdicts[1])
+	}
+	if !strings.Contains(rep.Verdicts[1].Evidence, "sched") {
+		t.Errorf("p99 fail evidence does not blame the scheduler wait: %q", rep.Verdicts[1].Evidence)
+	}
+	if rep.Verdicts[2].Status != VerdictSkipped {
+		t.Errorf("no-data class verdict: %+v", rep.Verdicts[2])
+	}
+	// Fairness: b completed 2 of an even share of 5 -> 40% < 50% floor.
+	fv := rep.Verdicts[3]
+	if fv.Status != VerdictFail || !strings.Contains(fv.Evidence, `"b"`) {
+		t.Errorf("fairness verdict: %+v", fv)
+	}
+	if rep.FailedVerdicts() != 2 {
+		t.Errorf("FailedVerdicts = %d, want 2", rep.FailedVerdicts())
+	}
+}

@@ -1,0 +1,126 @@
+package insight
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the triage report as aligned text tables — the human half
+// of scanbench -triage (the -json flag carries the same report structured).
+func (r *TriageReport) Render() string {
+	var b strings.Builder
+	title := "triage"
+	if r.Meta.RunID != "" {
+		title += ": " + r.Meta.RunID
+	}
+	fmt.Fprintf(&b, "=== %s ===\n", title)
+	fmt.Fprintf(&b, "%d statements, %d windows, %d decisions",
+		r.Statements, r.Windows, r.Meta.DecisionsTotal)
+	if r.Meta.DecisionsDropped > 0 {
+		fmt.Fprintf(&b, " (%d dropped from the ring — suspect sets may be incomplete)",
+			r.Meta.DecisionsDropped)
+	}
+	b.WriteString("\n")
+
+	blame := func(name string, rows []BlameRow) {
+		if len(rows) == 0 {
+			return
+		}
+		tbl := newTextTable(name, "group", "done", "shed", "p50", "p99", "tail blame")
+		for _, row := range rows {
+			tbl.row(row.Group, itoa(row.Count), itoa(row.Shed),
+				fmt.Sprintf("%.2fms", row.P50*1e3), fmt.Sprintf("%.2fms", row.P99*1e3),
+				row.Tail.String())
+		}
+		b.WriteString(tbl.render())
+	}
+	blame("blame by class", r.ByClass)
+	blame("blame by tenant", r.ByTenant)
+
+	tbl := newTextTable("incidents", "series", "dir", "windows", "baseline", "value", "change", "z", "suspects")
+	if len(r.Incidents) == 0 {
+		tbl.row("(none)", "-", "-", "-", "-", "-", "-", "-")
+	}
+	for _, in := range r.Incidents {
+		sus := "UNEXPLAINED"
+		if !in.Unexplained {
+			var parts []string
+			for _, d := range in.SuspectDecisions {
+				parts = append(parts, fmt.Sprintf("%s:%s@%.1fms", d.Source, d.Kind, d.Time*1e3))
+			}
+			sus = strings.Join(parts, " ")
+		}
+		tbl.row(in.Series, in.Direction,
+			fmt.Sprintf("w%d-w%d", in.FirstWindow+1, in.LastWindow+1),
+			fmt.Sprintf("%.3g", in.Baseline), fmt.Sprintf("%.3g", in.Value),
+			fmt.Sprintf("%+.0f%%", in.Magnitude*100), fmt.Sprintf("%.1f", in.Z), sus)
+	}
+	b.WriteString(tbl.render())
+
+	if len(r.Verdicts) > 0 {
+		tbl := newTextTable("SLO verdicts", "objective", "status", "measured", "target", "evidence")
+		for _, v := range r.Verdicts {
+			status := v.Status
+			if v.Status == VerdictFail {
+				status = "FAIL"
+			}
+			tbl.row(v.Name, status, fmt.Sprintf("%.4g", v.Measured), fmt.Sprintf("%.4g", v.Target), v.Evidence)
+		}
+		b.WriteString(tbl.render())
+	}
+	return b.String()
+}
+
+// textTable is a minimal aligned-column renderer for the triage output.
+type textTable struct {
+	name   string
+	header []string
+	rows   [][]string
+}
+
+// newTextTable starts a table with the given header.
+func newTextTable(name string, header ...string) *textTable {
+	return &textTable{name: name, header: header}
+}
+
+// row appends one row.
+func (t *textTable) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// render formats the table with aligned columns.
+func (t *textTable) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n-- %s --\n", t.name)
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// itoa is a local fmt shim (keeps render lines short).
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

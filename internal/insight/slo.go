@@ -1,0 +1,218 @@
+package insight
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"numacs/internal/trace"
+)
+
+// Verdict statuses.
+const (
+	// VerdictPass and VerdictFail are definitive evaluations; VerdictSkipped
+	// marks an objective the trace carries no data for (no statements of the
+	// class, fewer than two tenants, no sampler windows). Skipped is not a
+	// pass hidden under a different name — Render prints it distinctly — but
+	// FailedVerdicts does not count it either.
+	VerdictPass    = "pass"
+	VerdictFail    = "fail"
+	VerdictSkipped = "skipped"
+)
+
+// SLOSpec is the declarative objective set a run is judged against. The zero
+// value evaluates nothing; every populated objective yields one verdict.
+type SLOSpec struct {
+	// Latency lists per-class latency percentile targets.
+	Latency []LatencyTarget `json:"latency,omitempty"`
+	// FairnessFloor requires every tenant's completed-statement count to
+	// reach at least this fraction of the even share (completed total /
+	// tenants). Zero disables; the objective is skipped below two tenants.
+	FairnessFloor float64 `json:"fairness_floor,omitempty"`
+	// MinWindowDone requires every sampler window to complete at least this
+	// many statements — the no-livelock progress floor. Zero disables.
+	MinWindowDone uint64 `json:"min_window_done,omitempty"`
+}
+
+// LatencyTarget is one latency objective: the Percentile of class
+// Class's completed-statement latency must not exceed Target seconds. An
+// empty Class matches every statement (the class-less single-workload runs).
+type LatencyTarget struct {
+	// Class selects the admission class ("" = all statements).
+	Class string `json:"class"`
+	// Percentile is the evaluated percentile (e.g. 99); Target the bound in
+	// virtual seconds.
+	Percentile float64 `json:"percentile"`
+	Target     float64 `json:"target"`
+}
+
+// Verdict is one evaluated objective: what was required, what was measured,
+// and the blaming evidence when it failed (the dominant tail component for
+// latency, the overlapping incidents for progress).
+type Verdict struct {
+	// Name states the objective ("p99(OLAP) <= 20.0ms").
+	Name string `json:"name"`
+	// Status is VerdictPass, VerdictFail, or VerdictSkipped.
+	Status string `json:"status"`
+	// Measured and Target are the objective's numbers (units per objective:
+	// seconds for latency, fraction of even share for fairness, statements
+	// for progress).
+	Measured float64 `json:"measured"`
+	Target   float64 `json:"target"`
+	// Evidence explains the verdict: the blame decomposition or incident
+	// list backing it.
+	Evidence string `json:"evidence,omitempty"`
+}
+
+// evaluateSLOs turns the spec into verdicts against the analyzed data,
+// attaching blame and incident evidence from the already-built report.
+func evaluateSLOs(d *trace.Data, spec SLOSpec, rep *TriageReport) []Verdict {
+	var out []Verdict
+	for _, lt := range spec.Latency {
+		out = append(out, latencyVerdict(d, lt, rep))
+	}
+	if spec.FairnessFloor > 0 {
+		out = append(out, fairnessVerdict(d, spec.FairnessFloor))
+	}
+	if spec.MinWindowDone > 0 {
+		out = append(out, progressVerdict(d, spec.MinWindowDone, rep))
+	}
+	return out
+}
+
+// latencyVerdict evaluates one latency percentile target; evidence is the
+// class's tail blame decomposition.
+func latencyVerdict(d *trace.Data, lt LatencyTarget, rep *TriageReport) Verdict {
+	className := lt.Class
+	if className == "" {
+		className = "*"
+	}
+	v := Verdict{
+		Name:   fmt.Sprintf("p%g(%s) <= %.1fms", lt.Percentile, className, lt.Target*1e3),
+		Target: lt.Target,
+	}
+	var lats []float64
+	for _, s := range d.Statements {
+		if s.Shed || s.Done < 0 {
+			continue
+		}
+		if lt.Class != "" && s.Class != lt.Class {
+			continue
+		}
+		lats = append(lats, s.Done-s.Submitted)
+	}
+	if len(lats) == 0 {
+		v.Status = VerdictSkipped
+		v.Evidence = "no completed statements of this class in the trace"
+		return v
+	}
+	sort.Float64s(lats)
+	v.Measured = percentile(lats, lt.Percentile)
+	v.Status = VerdictPass
+	if v.Measured > lt.Target {
+		v.Status = VerdictFail
+	}
+	// Blame evidence: the matching class row's tail decomposition (the ""
+	// target reads the whole-trace tail by re-deriving it from all rows'
+	// groups when a single "-" row exists).
+	group := lt.Class
+	if group == "" {
+		group = "-"
+	}
+	for _, row := range rep.ByClass {
+		if row.Group == group {
+			v.Evidence = "tail blame: " + row.Tail.String()
+			break
+		}
+	}
+	if v.Evidence == "" && lt.Class == "" && len(rep.ByClass) > 0 {
+		v.Evidence = "tail blame (first class): " + rep.ByClass[0].Tail.String()
+	}
+	return v
+}
+
+// fairnessVerdict checks every tenant's completion count against the
+// fairness floor (fraction of the even share).
+func fairnessVerdict(d *trace.Data, floor float64) Verdict {
+	v := Verdict{
+		Name:   fmt.Sprintf("every tenant >= %.0f%% of even completion share", floor*100),
+		Target: floor,
+	}
+	done := map[string]int{}
+	total := 0
+	for _, s := range d.Statements {
+		if s.Tenant == "" || s.Shed || s.Done < 0 {
+			continue
+		}
+		done[s.Tenant]++
+		total++
+	}
+	if len(done) < 2 {
+		v.Status = VerdictSkipped
+		v.Evidence = "fewer than two tenants in the trace"
+		return v
+	}
+	even := float64(total) / float64(len(done))
+	worstName, worst := "", -1.0
+	for name, n := range done {
+		share := float64(n) / even
+		if worst < 0 || share < worst {
+			worstName, worst = name, share
+		}
+	}
+	v.Measured = worst
+	v.Status = VerdictPass
+	if worst < floor {
+		v.Status = VerdictFail
+	}
+	v.Evidence = fmt.Sprintf("worst tenant %q completed %d of an even share of %.0f (%.0f%%)",
+		worstName, done[worstName], even, worst*100)
+	return v
+}
+
+// progressVerdict checks the no-livelock floor: every sampler window must
+// complete at least min statements. Evidence on failure lists the stalled
+// windows and the incidents overlapping them.
+func progressVerdict(d *trace.Data, min uint64, rep *TriageReport) Verdict {
+	v := Verdict{
+		Name:   fmt.Sprintf("every window completes >= %d statements", min),
+		Target: float64(min),
+	}
+	if len(d.Samples) == 0 {
+		v.Status = VerdictSkipped
+		v.Evidence = "no sampler windows in the trace"
+		return v
+	}
+	worst := d.Samples[0].Delta.QueriesDone
+	var stalled []int
+	for w, smp := range d.Samples {
+		if smp.Delta.QueriesDone < worst {
+			worst = smp.Delta.QueriesDone
+		}
+		if smp.Delta.QueriesDone < min {
+			stalled = append(stalled, w)
+		}
+	}
+	v.Measured = float64(worst)
+	if len(stalled) == 0 {
+		v.Status = VerdictPass
+		return v
+	}
+	v.Status = VerdictFail
+	var parts []string
+	for _, w := range stalled {
+		part := fmt.Sprintf("w%d", w+1)
+		var overlapping []string
+		for _, in := range rep.Incidents {
+			if w >= in.FirstWindow && w <= in.LastWindow {
+				overlapping = append(overlapping, in.String())
+			}
+		}
+		if len(overlapping) > 0 {
+			part += " [" + strings.Join(overlapping, "; ") + "]"
+		}
+		parts = append(parts, part)
+	}
+	v.Evidence = "stalled windows: " + strings.Join(parts, ", ")
+	return v
+}

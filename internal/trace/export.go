@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,13 +12,25 @@ import (
 // events), which Perfetto and chrome://tracing open directly. Virtual
 // seconds map to trace microseconds.
 
-// WriteJSONL writes the recorder content as JSON lines: one object per
-// statement, decision, and sample, each tagged with a "type" field.
+// tagged is the JSONL line envelope: a record type plus the record itself.
+type tagged struct {
+	Type string `json:"type"`
+	Rec  any    `json:"rec"`
+}
+
+// WriteJSONL writes the recorder content as JSON lines: a leading meta line
+// (schema version, run id, socket count, decision-ring drop counts), then one
+// object per statement, decision, and sample, each tagged with a "type"
+// field. ReadJSONL parses the format back and rejects dumps whose schema
+// version does not match this build's.
 func (d *Data) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	type tagged struct {
-		Type string `json:"type"`
-		Rec  any    `json:"rec"`
+	m := d.Meta
+	if m.Schema == 0 {
+		m.Schema = SchemaVersion
+	}
+	if err := enc.Encode(tagged{Type: "meta", Rec: m}); err != nil {
+		return err
 	}
 	for _, s := range d.Statements {
 		if err := enc.Encode(tagged{Type: "statement", Rec: s}); err != nil {
@@ -35,6 +48,71 @@ func (d *Data) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses a WriteJSONL dump back into Data. The first line must be
+// the meta line and its schema version must equal SchemaVersion — triage
+// tooling uses the error to reject dumps written by an incompatible build
+// instead of misreading them. Unknown record types are skipped, so a newer
+// writer that only *adds* record kinds stays readable after a version bump.
+func ReadJSONL(r io.Reader) (*Data, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	d := &Data{}
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env struct {
+			Type string          `json:"type"`
+			Rec  json.RawMessage `json:"rec"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			return nil, fmt.Errorf("trace: bad JSONL line: %w", err)
+		}
+		if first {
+			if env.Type != "meta" {
+				return nil, fmt.Errorf("trace: dump does not start with a meta line (got %q)", env.Type)
+			}
+			if err := json.Unmarshal(env.Rec, &d.Meta); err != nil {
+				return nil, fmt.Errorf("trace: bad meta line: %w", err)
+			}
+			if d.Meta.Schema != SchemaVersion {
+				return nil, fmt.Errorf("trace: dump schema v%d, this build reads v%d", d.Meta.Schema, SchemaVersion)
+			}
+			first = false
+			continue
+		}
+		switch env.Type {
+		case "statement":
+			var s Statement
+			if err := json.Unmarshal(env.Rec, &s); err != nil {
+				return nil, fmt.Errorf("trace: bad statement line: %w", err)
+			}
+			d.Statements = append(d.Statements, &s)
+		case "decision":
+			var dec Decision
+			if err := json.Unmarshal(env.Rec, &dec); err != nil {
+				return nil, fmt.Errorf("trace: bad decision line: %w", err)
+			}
+			d.Decisions = append(d.Decisions, dec)
+		case "sample":
+			var smp Sample
+			if err := json.Unmarshal(env.Rec, &smp); err != nil {
+				return nil, fmt.Errorf("trace: bad sample line: %w", err)
+			}
+			d.Samples = append(d.Samples, smp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("trace: empty dump (no meta line)")
+	}
+	return d, nil
 }
 
 // chromeEvent is one entry of the Chrome trace-event JSON array.

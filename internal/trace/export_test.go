@@ -119,26 +119,32 @@ func TestExportChromeFull(t *testing.T) {
 	}
 }
 
-// TestWriteJSONL: every line is a self-describing JSON object and the record
-// counts match the recorder content.
+// TestWriteJSONL: every line is a self-describing JSON object, the dump
+// leads with the schema-version meta line, and ReadJSONL round-trips the
+// content back (records, timestamps, and the derived wait decomposition).
 func TestWriteJSONL(t *testing.T) {
 	tr := New(Config{}, 2)
 	s := tr.StartStatement("a", "OLAP", "t.c0", 0)
+	s.PhaseOpen("scan", 0.002)
+	s.TaskStart(1, true, 0.004)
+	s.PhaseClose(0.008)
 	s.MarkDone(0.01)
-	tr.Decisions.Record(Decision{Source: "placer", Kind: "replicate", Item: "c0"})
+	tr.Decisions.Record(Decision{Source: "placer", Kind: "replicate", Item: "c0", From: 0, To: 1})
 	tr.Sampler = NewSampler(0.01, metrics.New(2))
 	tr.Sampler.Tick(0.01)
 
+	data := tr.Data()
+	data.Meta.RunID = "round-trip"
 	var buf bytes.Buffer
-	if err := tr.Data().WriteJSONL(&buf); err != nil {
+	if err := data.WriteJSONL(&buf); err != nil {
 		t.Fatalf("WriteJSONL: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("got %d JSONL lines, want 3:\n%s", len(lines), buf.String())
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSONL lines, want meta + 3 records:\n%s", len(lines), buf.String())
 	}
 	types := map[string]int{}
-	for _, ln := range lines {
+	for i, ln := range lines {
 		var rec struct {
 			Type string          `json:"type"`
 			Rec  json.RawMessage `json:"rec"`
@@ -149,9 +155,56 @@ func TestWriteJSONL(t *testing.T) {
 		if len(rec.Rec) == 0 {
 			t.Fatalf("line %q has no rec payload", ln)
 		}
+		if i == 0 && rec.Type != "meta" {
+			t.Fatalf("first line is %q, want the meta line", rec.Type)
+		}
 		types[rec.Type]++
 	}
-	if types["statement"] != 1 || types["decision"] != 1 || types["sample"] != 1 {
+	if types["meta"] != 1 || types["statement"] != 1 || types["decision"] != 1 || types["sample"] != 1 {
 		t.Fatalf("type mix %v", types)
+	}
+
+	got, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.Meta != data.Meta {
+		t.Fatalf("meta round-trip: got %+v want %+v", got.Meta, data.Meta)
+	}
+	if got.Meta.Schema != SchemaVersion || got.Meta.Sockets != 2 || got.Meta.RunID != "round-trip" {
+		t.Fatalf("meta content: %+v", got.Meta)
+	}
+	if len(got.Statements) != 1 || len(got.Decisions) != 1 || len(got.Samples) != 1 {
+		t.Fatalf("record counts: %d statements, %d decisions, %d samples",
+			len(got.Statements), len(got.Decisions), len(got.Samples))
+	}
+	rs := got.Statements[0]
+	if rs.Done != 0.01 || rs.Tenant != "a" || rs.Tasks() != 1 || rs.Stolen != 1 {
+		t.Fatalf("statement round-trip: %+v", rs)
+	}
+	// The derived decomposition survives because the phases do.
+	if rs.SchedulerWait() != s.SchedulerWait() || rs.ExecSeconds() != s.ExecSeconds() {
+		t.Fatalf("wait decomposition drifted: sched %v vs %v, exec %v vs %v",
+			rs.SchedulerWait(), s.SchedulerWait(), rs.ExecSeconds(), s.ExecSeconds())
+	}
+	if got.Decisions[0] != tr.Decisions.Events()[0] {
+		t.Fatalf("decision round-trip: %+v", got.Decisions[0])
+	}
+}
+
+// TestReadJSONLRejectsMismatch: dumps from another schema version, dumps not
+// starting with a meta line, and empty dumps are all rejected with an error —
+// triage tooling must never silently analyze a mismatched artifact.
+func TestReadJSONLRejectsMismatch(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":   `{"type":"meta","rec":{"schema":1,"sockets":2}}`,
+		"no meta first":  `{"type":"statement","rec":{"id":0}}`,
+		"empty dump":     ``,
+		"malformed line": `{"type":`,
+	}
+	for name, dump := range cases {
+		if _, err := ReadJSONL(strings.NewReader(dump)); err == nil {
+			t.Errorf("%s: ReadJSONL accepted %q", name, dump)
+		}
 	}
 }

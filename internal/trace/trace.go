@@ -92,6 +92,12 @@ func (t *Tracer) Statements() []*Statement { return t.statements }
 // log (oldest first), and the time-series samples when a sampler ran.
 func (t *Tracer) Data() *Data {
 	d := &Data{
+		Meta: Meta{
+			Schema:           SchemaVersion,
+			Sockets:          t.sockets,
+			DecisionsTotal:   t.Decisions.Total(),
+			DecisionsDropped: t.Decisions.Dropped(),
+		},
 		Statements: t.statements,
 		Decisions:  t.Decisions.Events(),
 	}
@@ -101,9 +107,35 @@ func (t *Tracer) Data() *Data {
 	return d
 }
 
+// SchemaVersion identifies the flight-recorder dump layout. WriteJSONL stamps
+// it into the dump's leading meta line and ReadJSONL rejects dumps written
+// under a different version, so triage tooling never silently misreads a
+// stale artifact. Bump it whenever a record's fields change meaning.
+const SchemaVersion = 2
+
+// Meta describes a recorder dump: the schema version, the run that produced
+// it, the machine's socket count (the length of per-socket slices), and how
+// much of the decision ring survived. A nonzero DecisionsDropped means the
+// suspect sets of any downstream analysis are incomplete.
+type Meta struct {
+	// Schema is the dump layout version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// RunID names the producing run (experiment id); empty when unset.
+	RunID string `json:"run_id,omitempty"`
+	// Sockets is the traced machine's socket count.
+	Sockets int `json:"sockets"`
+	// DecisionsTotal counts decisions ever recorded; DecisionsDropped the
+	// ones the bounded ring discarded (oldest first).
+	DecisionsTotal   uint64 `json:"decisions_total"`
+	DecisionsDropped uint64 `json:"decisions_dropped"`
+}
+
 // Data is the exported flight-recorder content of one run — what the JSONL
 // and Chrome exporters serialize and what the harness attaches to reports.
 type Data struct {
+	// Meta describes the dump (schema version, run id, socket count,
+	// decision-ring drop counts).
+	Meta Meta `json:"meta"`
 	// Statements holds the per-statement span trees.
 	Statements []*Statement `json:"statements"`
 	// Decisions holds the surviving decision log, oldest first.
