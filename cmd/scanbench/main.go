@@ -10,10 +10,14 @@
 //	scanbench -exp shared-scan -scale quick -json
 //	scanbench -exp chaos-socket -scale quick -trace traces/
 //	scanbench -exp chaos-socket -scale quick -triage
+//	scanbench -explain planner
 //
 // -list prints one registered experiment id per line, so scripts (and the
 // CI experiment loop) can enumerate every experiment without a hand-kept
-// list; -json emits each report as a JSON document instead of rendered
+// list; -explain <id> prints the experiment's EXPLAIN rendering (logical and
+// optimized physical plans over a fixed fixture schema) — the exact text the
+// CI plan-golden gate diffs against testdata/plans/<id>.txt — and exits with
+// status 2 for experiments that expose no planner walkthrough; -json emits each report as a JSON document instead of rendered
 // tables — the format the CI bench job archives into the BENCH_<run>.json
 // perf-trajectory artifact. -trace <dir> writes each experiment's
 // flight-recorder data (when the experiment records one) as <dir>/<id>.jsonl
@@ -46,6 +50,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "print registered experiment ids, one per line, and exit")
+		explain  = flag.String("explain", "", "print the experiment's planner EXPLAIN rendering and exit")
 		exp      = flag.String("exp", "", "experiment id to run (comma-separated for several)")
 		all      = flag.Bool("all", false, "run every experiment")
 		scale    = flag.String("scale", "full", "experiment scale: full or quick")
@@ -91,6 +96,20 @@ func main() {
 		for _, id := range harness.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *explain != "" {
+		e, ok := harness.ByID(*explain)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *explain)
+			os.Exit(2)
+		}
+		if e.Explain == nil {
+			fmt.Fprintf(os.Stderr, "experiment %q exposes no planner EXPLAIN\n", *explain)
+			os.Exit(2)
+		}
+		fmt.Print(e.Explain())
 		return
 	}
 

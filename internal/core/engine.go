@@ -403,19 +403,12 @@ func (e *Engine) submitQuery(q *Query, st *trace.Statement, gran int, issuedAt f
 			q.OnDone(lat)
 		}
 	}
-	if e.Shared != nil && e.shareableScan(q) {
-		e.submitShared(q, st, gran, issuedAt, onDone, release)
+	low := e.planQuery(q)
+	if e.Shared != nil && low.Shareable {
+		e.submitShared(q, low, st, gran, issuedAt, onDone, release)
 		return
 	}
-	scan := &exec.ScanOp{
-		Table:                 q.Table,
-		Column:                q.Column,
-		Selectivity:           q.Selectivity,
-		ExtraPredicateColumns: q.ExtraPredicateColumns,
-		UseIndex:              q.UseIndex,
-		Parallel:              q.Parallel,
-	}
-	e.submitPipeline(q.Strategy, q.HomeSocket, gran, issuedAt, st, onDone, scan, e.secondOp(q, scan))
+	e.submitPipeline(q.Strategy, q.HomeSocket, gran, issuedAt, st, onDone, low.Ops...)
 }
 
 // SubmitPipeline executes composed operators as one SQL statement: the fixed

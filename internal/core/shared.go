@@ -1,36 +1,53 @@
 package core
 
-// The engine's shared-scan path: shareable statements are handed to the
-// sharedscan.Registry as cohort members instead of building a private
+// The engine's planning and shared-scan glue: every plain statement is built
+// into a logical plan, optimized, and lowered to exec operators, and a
+// statement whose lowered plan is shareable is handed to the
+// sharedscan.Registry as a cohort member instead of dispatching its private
 // ScanOp. The member carries everything the registry needs to assemble the
 // statement's pipeline — the predicate, the scheduling parameters, the
-// output-phase factory, and the lifecycle hooks — so the registry can merge
-// concurrent same-column scans into one physical pass while every statement
-// keeps its own latency, logical traffic, and completion callbacks.
+// lowered output-phase factory, and the lifecycle hooks — so the registry can
+// merge concurrent same-column scans into one physical pass while every
+// statement keeps its own latency, logical traffic, and completion callbacks.
 
 import (
-	"numacs/internal/exec"
+	"numacs/internal/plan"
 	"numacs/internal/sharedscan"
 	"numacs/internal/sim"
 	"numacs/internal/trace"
 )
 
-// shareableScan reports whether a query can join a scan cohort: an
-// intra-parallel, index-free, single-predicate scan of a single-part table.
-// Unparallelized scans (the Figure 10 single-task path), index lookups,
-// multi-predicate statements, and physically partitioned tables keep the
-// private path.
-func (e *Engine) shareableScan(q *Query) bool {
-	return q.Parallel && !q.UseIndex &&
-		len(q.ExtraPredicateColumns) == 0 && q.Table.NumParts() == 1
+// planQuery runs one statement through the planner: build the logical tree,
+// optimize, and lower to exec operators. The per-statement hot path plans
+// without a statistics catalog (stat-less passes keep the written plan, and
+// the shareable/pushdown analysis needs no stats), so Submit never pays a
+// catalog walk; batch and star paths collect stats explicitly.
+func (e *Engine) planQuery(q *Query) *plan.Lowered {
+	l := plan.BuildQuery(plan.Statement{
+		Table:                 q.Table,
+		Column:                q.Column,
+		Selectivity:           q.Selectivity,
+		ExtraPredicateColumns: q.ExtraPredicateColumns,
+		ProjectColumns:        q.ProjectColumns,
+		UseIndex:              q.UseIndex,
+		Parallel:              q.Parallel,
+		Aggregate:             q.Aggregate,
+		AggBytesPerRow:        q.AggBytesPerRow,
+		AggCyclesPerRow:       q.AggCyclesPerRow,
+	})
+	return plan.Optimize(l, nil, &e.Costs).Lower(e.planDeps())
 }
 
-// submitShared dispatches a shareable query through the cohort registry:
-// the fixed per-query overhead runs first (as on the private path), then
-// the statement joins the registry's lifecycle for its column. The member's
-// shed deadline extends the admission class deadline into the join window;
-// a shed frees the admission slot and fires q.OnShed.
-func (e *Engine) submitShared(q *Query, st *trace.Statement, gran int, issuedAt float64, onDone func(latency float64), release func()) {
+// planDeps exposes the engine-side dependencies plan lowering needs.
+func (e *Engine) planDeps() plan.Deps {
+	return plan.Deps{Alloc: e.Placer.Alloc, DisableCoalesce: e.DisableCoalesce}
+}
+
+// cohortMember wraps a planned shareable statement as a cohort-registry
+// member and counts it as an active statement. The member's shed deadline
+// extends the admission class deadline into the join window; a shed frees the
+// admission slot and fires q.OnShed.
+func (e *Engine) cohortMember(q *Query, low *plan.Lowered, st *trace.Statement, gran int, issuedAt float64, onDone func(latency float64), release func()) *sharedscan.Member {
 	deadline := 0.0
 	if e.Admit != nil {
 		if d := e.Admit.DeadlineFor(q.Class); d > 0 {
@@ -38,8 +55,8 @@ func (e *Engine) submitShared(q *Query, st *trace.Statement, gran int, issuedAt 
 		}
 	}
 	e.activeStatements++
-	m := &sharedscan.Member{
-		Key:         q.Table.Name + "." + q.Column,
+	return &sharedscan.Member{
+		Key:         low.ShareKey,
 		Table:       q.Table,
 		Column:      q.Column,
 		Selectivity: q.Selectivity,
@@ -49,10 +66,12 @@ func (e *Engine) submitShared(q *Query, st *trace.Statement, gran int, issuedAt 
 		IssuedAt:    issuedAt,
 		Deadline:    deadline,
 		Trace:       st,
-		SecondOp:    func(src exec.RegionSource) exec.Operator { return e.secondOp(q, src) },
+		SecondOp:    low.SecondOp,
 		OnDone: func(lat float64) {
 			e.activeStatements--
-			onDone(lat)
+			if onDone != nil {
+				onDone(lat)
+			}
 		},
 		OnShed: func() {
 			e.activeStatements--
@@ -64,6 +83,13 @@ func (e *Engine) submitShared(q *Query, st *trace.Statement, gran int, issuedAt 
 			}
 		},
 	}
+}
+
+// submitShared dispatches a shareable planned query through the cohort
+// registry: the fixed per-query overhead runs first (as on the private path),
+// then the statement joins the registry's lifecycle for its column.
+func (e *Engine) submitShared(q *Query, low *plan.Lowered, st *trace.Statement, gran int, issuedAt float64, onDone func(latency float64), release func()) {
+	m := e.cohortMember(q, low, st, gran, issuedAt, onDone, release)
 	// Phase 0: the same fixed per-query overhead as SubmitPipelineAt, on the
 	// client's connection thread; the statement joins its cohort only once
 	// parse/plan/session work is paid.
@@ -72,26 +98,4 @@ func (e *Engine) submitShared(q *Query, st *trace.Statement, gran int, issuedAt 
 		RateCap:   1,
 		OnDone:    func() { e.Shared.Submit(m) },
 	})
-}
-
-// secondOp builds the query's output phase over the given find-phase
-// regions — the same materialization or aggregation operator the private
-// path composes.
-func (e *Engine) secondOp(q *Query, src exec.RegionSource) exec.Operator {
-	if q.Aggregate {
-		return &exec.AggregateOp{
-			Source:          src,
-			BytesPerRow:     q.AggBytesPerRow,
-			CyclesPerRow:    q.AggCyclesPerRow,
-			ProjectColumns:  q.ProjectColumns,
-			Parallel:        q.Parallel,
-			DisableCoalesce: e.DisableCoalesce,
-		}
-	}
-	return &exec.MaterializeOp{
-		Scan:            src,
-		ProjectColumns:  q.ProjectColumns,
-		Parallel:        q.Parallel,
-		DisableCoalesce: e.DisableCoalesce,
-	}
 }

@@ -82,6 +82,19 @@ type scanTask struct {
 	deltaMatches int
 }
 
+// IndexEligible is the single source of truth for the index-vs-scan decision:
+// the statement permits index use, the selectivity clears the cost model's
+// threshold, and the column actually carries an index. ScanOp.Open applies it
+// at execution time and the planner mirrors it as a physical-plan annotation,
+// so EXPLAIN output and execution can never disagree.
+func IndexEligible(costs *Costs, table *colstore.Table, column string, selectivity float64, useIndex bool) bool {
+	if !useIndex || selectivity > costs.IndexSelectivityThreshold {
+		return false
+	}
+	c := table.Parts[0].ColumnByName(column)
+	return c != nil && c.Idx != nil
+}
+
 // Open plans and emits the find tasks. Only the primary predicate column
 // tracks regions (the materialization input); additional predicate columns
 // run the same find phase in parallel and merely intersect the result
@@ -93,12 +106,7 @@ func (s *ScanOp) Open(p *Pipeline) []Task {
 	// statement sees the same instant (recomputing per column would walk all
 	// active flows repeatedly for no added signal).
 	mcLoad := env.MCLoad()
-	useIndex := false
-	if s.UseIndex && s.Selectivity <= env.Costs.IndexSelectivityThreshold {
-		if c := s.Table.Parts[0].ColumnByName(s.Column); c != nil && c.Idx != nil {
-			useIndex = true
-		}
-	}
+	useIndex := IndexEligible(env.Costs, s.Table, s.Column, s.Selectivity, s.UseIndex)
 
 	var tasks []scanTask
 	plan := func(colName string, trackRegions bool) {

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"testing"
+
+	"numacs/internal/colstore"
+	"numacs/internal/core"
+	"numacs/internal/join"
+)
+
+// TestStarJoinPlannerBitIdentical pins the planner's lowering contract on
+// the starjoin experiment's fixed-seed scenario: ExecuteStar — which now runs
+// Build -> Optimize (with live stats) -> Lower — must emit an operator
+// pipeline field-for-field identical to ExecuteStarUnplanned's hand wiring,
+// so twin engines driving the two paths with the same seed match on every
+// counter and on the full latency distribution, bit for bit.
+func TestStarJoinPlannerBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-seed simulation runs")
+	}
+	s := QuickScale()
+	run := func(planned bool) *core.Engine {
+		e := core.NewWithStep(FourSocket.Build(), 1, s.Step)
+		sockets := []int{0, 1, 2, 3}
+		dim := colstore.NewTable("DIM", []*colstore.Column{
+			colstore.NewSynthetic("D_DATE", s.Rows/4, 1<<12, false),
+			colstore.NewSynthetic("D_ID", s.Rows/4, 1<<14, false),
+		})
+		fact := colstore.NewTable("FACT", []*colstore.Column{
+			colstore.NewSynthetic("F_FK", s.Rows, 1<<14, false),
+		})
+		for _, c := range dim.Parts[0].Columns {
+			e.Placer.PlaceIVP(c, sockets)
+		}
+		e.Placer.PlaceIVP(fact.Parts[0].Columns[0], sockets)
+
+		clients := 32
+		inflight := 0
+		var issue func(client int)
+		issue = func(client int) {
+			if inflight >= clients {
+				return
+			}
+			inflight++
+			spec := join.StarSpec{
+				Dim: dim, DimPredicate: "D_DATE", DimKey: "D_ID",
+				Fact: fact, FactFK: "F_FK",
+				Selectivity:     0.05,
+				HitsPerProbeRow: 1,
+				AggBytesPerRow:  12, AggCyclesPerRow: 24,
+				HTSockets:  []int{0},
+				Strategy:   core.Bound,
+				HomeSocket: client % e.Machine.Sockets,
+				OnDone:     func(float64) { inflight--; issue(client) },
+			}
+			if planned {
+				join.ExecuteStar(e, spec)
+			} else {
+				join.ExecuteStarUnplanned(e, spec)
+			}
+		}
+		for i := 0; i < clients; i++ {
+			issue(i)
+		}
+		e.Sim.Run(s.Warmup)
+		e.Counters.Reset()
+		e.Sim.Run(s.Warmup + s.Measure)
+		return e
+	}
+	hand := run(false)
+	planned := run(true)
+
+	h, p := hand.Counters, planned.Counters
+	if h.QueriesDone == 0 {
+		t.Fatal("no statements completed")
+	}
+	if h.QueriesDone != p.QueriesDone || h.TasksExecuted != p.TasksExecuted ||
+		h.TasksStolen != p.TasksStolen {
+		t.Fatalf("counts drifted: hand {q %d, tasks %d, stolen %d} vs planned {q %d, tasks %d, stolen %d}",
+			h.QueriesDone, h.TasksExecuted, h.TasksStolen,
+			p.QueriesDone, p.TasksExecuted, p.TasksStolen)
+	}
+	if h.TotalMCBytes() != p.TotalMCBytes() || h.LLCLocal != p.LLCLocal ||
+		h.LLCRemote != p.LLCRemote || h.LinkDataBytes != p.LinkDataBytes ||
+		h.LinkTotalBytes != p.LinkTotalBytes {
+		t.Fatalf("traffic drifted: hand {MC %v, LLC %v/%v, link %v/%v} vs planned {MC %v, LLC %v/%v, link %v/%v}",
+			h.TotalMCBytes(), h.LLCLocal, h.LLCRemote, h.LinkDataBytes, h.LinkTotalBytes,
+			p.TotalMCBytes(), p.LLCLocal, p.LLCRemote, p.LinkDataBytes, p.LinkTotalBytes)
+	}
+	if h.IPC() != p.IPC() || h.WorkerBusySeconds != p.WorkerBusySeconds {
+		t.Fatalf("compute drifted: IPC %v vs %v, busy %v vs %v",
+			h.IPC(), p.IPC(), h.WorkerBusySeconds, p.WorkerBusySeconds)
+	}
+	if h.Latencies() != p.Latencies() {
+		t.Fatalf("latency distribution drifted:\n hand    %+v\n planned %+v",
+			h.Latencies(), p.Latencies())
+	}
+}
+
+// checkPlannerCriteria asserts the planner experiment's acceptance criteria
+// at one simulator scale: plan-driven submission must form strictly more
+// cohorted statements than timing-driven submission — and some of them must
+// come through plan groups — while at least matching its throughput.
+func checkPlannerCriteria(t *testing.T, s Scale) {
+	t.Helper()
+	timing := RunPlanner(s, false)
+	planned := RunPlanner(s, true)
+	if timing.QueriesDone == 0 || planned.QueriesDone == 0 {
+		t.Fatalf("no statements completed (timing %d, planned %d)",
+			timing.QueriesDone, planned.QueriesDone)
+	}
+	if planned.CohortedStatements <= timing.CohortedStatements {
+		t.Errorf("plan-driven cohorted statements %d <= timing-driven %d — plan-time detection added nothing",
+			planned.CohortedStatements, timing.CohortedStatements)
+	}
+	if planned.Cohorts.PlanGrouped == 0 {
+		t.Errorf("no statements entered through plan-driven groups: %+v", planned.Cohorts)
+	}
+	if timing.Cohorts.PlanGrouped != 0 {
+		t.Errorf("timing-driven mode unexpectedly used plan groups: %+v", timing.Cohorts)
+	}
+	if planned.QPM < timing.QPM {
+		t.Errorf("plan-driven throughput %.0f q/min < timing-driven %.0f", planned.QPM, timing.QPM)
+	}
+}
+
+// TestPlannerCohortsQuick asserts the criteria at the quick scale's 25 us
+// simulator step.
+func TestPlannerCohortsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner simulation runs")
+	}
+	checkPlannerCriteria(t, QuickScale())
+}
+
+// TestPlannerCohortsFull asserts the criteria at the full scale's 5 us
+// simulator step (step-size robustness: quantization must not be what forms
+// the extra cohorts).
+func TestPlannerCohortsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner simulation runs at full scale")
+	}
+	checkPlannerCriteria(t, FullScale())
+}

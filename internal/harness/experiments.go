@@ -47,6 +47,11 @@ type Experiment struct {
 	Title       string
 	Description string
 	Run         func(Scale) *Report
+	// Explain, when non-nil, renders the experiment's workload through the
+	// planner as stable EXPLAIN text (logical and optimized physical plans on
+	// a fixed fixture schema) — the plan-golden CI gate diffs it against
+	// testdata/plans/<id>.txt.
+	Explain func() string
 }
 
 // All returns every experiment in paper order.
@@ -159,7 +164,12 @@ func init() {
 		Run:         runChaosBurst})
 	register(Experiment{ID: "starjoin", Title: "Composed star-join statements (operator pipeline)",
 		Description: "Scan -> join -> aggregate in one scheduled statement: strategies x hash-table placements on the 4-socket machine, enabled by the internal/exec operator-pipeline layer.",
-		Run:         runStarJoin})
+		Run:         runStarJoin,
+		Explain:     explainStarJoin})
+	register(Experiment{ID: "planner", Title: "Plan-driven cohorts: batch planning vs arrival timing",
+		Description: "A mixed multi-statement workload (shared-column scans + star joins) submitted either statement-by-statement (cohorts form from arrival timing alone) or as planned batches (common subplans detected at plan time feed the cohort registry directly); plan-driven grouping must form cohorts timing misses.",
+		Run:         runPlanner,
+		Explain:     explainPlanner})
 }
 
 // ---- shared sweep helpers ---------------------------------------------------

@@ -48,7 +48,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"table2", "psmsize", "repart", "adaptive", "adaptive-repl", "delta-merge",
 		"admission", "shared-scan", "starjoin",
 		"chaos-socket", "chaos-thermal", "chaos-antagonist", "chaos-writestorm",
-		"chaos-burst"}
+		"chaos-burst", "planner"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing", id)

@@ -20,6 +20,7 @@ import (
 	"numacs/internal/colstore"
 	"numacs/internal/core"
 	"numacs/internal/exec"
+	"numacs/internal/plan"
 )
 
 // ---- functional hash join ---------------------------------------------------
@@ -215,12 +216,28 @@ type StarSpec struct {
 	OnDone     func(latency float64)
 }
 
-// ExecuteStar submits the composed star-join statement: a four-operator
-// pipeline (dimension scan, join build, join probe, measure aggregation)
-// that runs through the statement entry point — per-query overhead,
-// concurrency-hint accounting, statement-timestamp priorities — which none
-// of the three pre-pipeline execution paths could express.
-func ExecuteStar(e *core.Engine, s StarSpec) {
+// Plan builds the star statement's logical plan — the planner's input for
+// ExecuteStar and for EXPLAIN renderings of the star workload.
+func (s StarSpec) Plan() *plan.Logical {
+	return plan.BuildStar(plan.StarStatement{
+		Fact: s.Fact,
+		Dims: []plan.StarDim{{
+			Dim:             s.Dim,
+			Predicate:       s.DimPredicate,
+			Key:             s.DimKey,
+			FactFK:          s.FactFK,
+			Selectivity:     s.Selectivity,
+			HitsPerProbeRow: s.HitsPerProbeRow,
+		}},
+		AggBytesPerRow:  s.AggBytesPerRow,
+		AggCyclesPerRow: s.AggCyclesPerRow,
+		HTSockets:       s.HTSockets,
+	})
+}
+
+// checkStar validates the spec's column references and placement; both
+// execution paths share it so planned and unplanned submission panic alike.
+func checkStar(s StarSpec) {
 	dimPred := s.Dim.Column(s.DimPredicate)
 	dimKey := s.Dim.Column(s.DimKey)
 	factFK := s.Fact.Column(s.FactFK)
@@ -230,6 +247,29 @@ func ExecuteStar(e *core.Engine, s StarSpec) {
 	if dimPred.IVPSM == nil || dimKey.IVPSM == nil || factFK.IVPSM == nil {
 		panic("join: columns must be placed before execution")
 	}
+}
+
+// ExecuteStar submits the composed star-join statement through the planner:
+// the spec builds a logical plan, the optimizer runs with statistics
+// collected from the live tables, and the lowered four-operator pipeline
+// (dimension scan, join build, join probe, measure aggregation) runs through
+// the statement entry point — per-query overhead, concurrency-hint
+// accounting, statement-timestamp priorities. On this single-dimension shape
+// the lowering is field-for-field identical to ExecuteStarUnplanned's hand
+// wiring, which the harness pins counter-identical on a fixed-seed scenario.
+func ExecuteStar(e *core.Engine, s StarSpec) {
+	checkStar(s)
+	stats := plan.Collect(s.Dim, s.Fact)
+	low := plan.Optimize(s.Plan(), stats, &e.Costs).Lower(plan.Deps{Alloc: e.Placer.Alloc})
+	e.SubmitPipeline(s.Strategy, s.HomeSocket, s.OnDone, low.Ops...)
+}
+
+// ExecuteStarUnplanned submits the star statement with the pre-planner hand
+// wiring — the reference composition ExecuteStar's lowering contract is
+// measured against. Kept executable so the golden test compares live paths,
+// not a snapshot.
+func ExecuteStarUnplanned(e *core.Engine, s StarSpec) {
+	checkStar(s)
 	scan := &exec.ScanOp{
 		Table:       s.Dim,
 		Column:      s.DimPredicate,
@@ -237,8 +277,8 @@ func ExecuteStar(e *core.Engine, s StarSpec) {
 		Parallel:    true,
 	}
 	j := &exec.JoinOp{
-		Build:           dimKey,
-		Probe:           factFK,
+		Build:           s.Dim.Column(s.DimKey),
+		Probe:           s.Fact.Column(s.FactFK),
 		HTSockets:       s.HTSockets,
 		HitsPerProbeRow: s.HitsPerProbeRow,
 		Alloc:           e.Placer.Alloc,

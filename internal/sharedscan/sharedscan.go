@@ -114,6 +114,10 @@ type Stats struct {
 	Wraps uint64
 	// Shed counts members shed while waiting in a join window.
 	Shed uint64
+	// PlanGrouped counts members that entered through a plan-driven group
+	// (SubmitGroup): the planner's common-subplan detection, not arrival
+	// timing, placed them in one cohort submission.
+	PlanGrouped uint64
 }
 
 // cohort is one pass's membership: launch members (leader first), mid-flight
@@ -236,6 +240,89 @@ func (r *Registry) Submit(m *Member) {
 		return
 	}
 	r.launch(ks, &cohort{key: m.Key, members: []*Member{m}})
+}
+
+// SubmitGroup routes a plan-driven cohort group into the lifecycle as one
+// unit: core.SubmitBatch hands it the members whose physical plans share a
+// cohort key, and the whole group lands in the same cohort without waiting
+// out a join window per member. Members of a single-element group (and
+// members whose keys differ — the registry re-groups defensively) fall back
+// to the per-statement Submit path. A group that cannot ride an existing
+// forming cohort or attach to the running pass in full launches or queues
+// together, so plan-time grouping never splits a detected common subplan.
+func (r *Registry) SubmitGroup(ms []*Member) {
+	byKey := make(map[string][]*Member)
+	var order []string
+	for _, m := range ms {
+		if _, ok := byKey[m.Key]; !ok {
+			order = append(order, m.Key)
+		}
+		byKey[m.Key] = append(byKey[m.Key], m)
+	}
+	for _, key := range order {
+		g := byKey[key]
+		if len(g) == 1 {
+			r.Submit(g[0])
+			continue
+		}
+		r.submitGroup(key, g)
+	}
+}
+
+// submitGroup places one same-key group of two or more members into the
+// cohort lifecycle as a unit.
+func (r *Registry) submitGroup(key string, g []*Member) {
+	now := r.sim.Now()
+	r.stats.Statements += uint64(len(g))
+	r.stats.PlanGrouped += uint64(len(g))
+	for _, m := range g {
+		if m.Trace != nil {
+			m.Trace.MarkCohortQueued(now)
+		}
+	}
+	if r.Decisions != nil {
+		r.Decisions.Record(trace.Decision{
+			Time: now, Source: "cohort", Kind: "plan-group", Item: key, From: -1, To: -1,
+			Cause: fmt.Sprintf("planner grouped %d statements on a common subplan", len(g)),
+		})
+	}
+	ks := r.state(key)
+	if c := ks.forming; c != nil {
+		c.members = append(c.members, g...)
+		if len(c.members) >= r.cfg.MaxCohort {
+			ks.forming = nil
+			r.launch(ks, c)
+		}
+		return
+	}
+	if c := ks.running; c != nil {
+		if !r.cfg.DisableAttach && len(c.members)+len(c.attachers)+len(g) <= r.cfg.MaxCohort {
+			if f := c.pass.Fraction(); f <= r.cfg.AttachFraction {
+				if f > c.maxMissed {
+					c.maxMissed = f
+				}
+				c.attachers = append(c.attachers, g...)
+				r.stats.Attached += uint64(len(g))
+				for _, m := range g {
+					if m.Trace != nil {
+						m.Trace.MarkAttached()
+						m.Trace.MarkCohortLaunched(now)
+					}
+				}
+				if r.Decisions != nil {
+					r.Decisions.Record(trace.Decision{
+						Time: now, Source: "cohort", Kind: "attach", Item: key, From: -1, To: -1,
+						Cause: fmt.Sprintf("plan group of %d attached at %.0f%% of the running pass (attach bound %.0f%%)",
+							len(g), f*100, r.cfg.AttachFraction*100),
+					})
+				}
+				return
+			}
+		}
+		ks.forming = &cohort{key: key, members: append([]*Member{}, g...), launchAt: now + r.cfg.JoinWindow}
+		return
+	}
+	r.launch(ks, &cohort{key: key, members: append([]*Member{}, g...)})
 }
 
 // Tick implements sim.Actor: shed join-window waiters whose deadline passed
